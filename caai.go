@@ -1,0 +1,157 @@
+// Package caai is a from-scratch reproduction of "TCP Congestion Avoidance
+// Algorithm Identification" (Yang, Shao, Luo, Xu, Deogun, Lu -- ICDCS 2011
+// / IEEE/ACM ToN 2014): an active measurement tool that identifies which
+// TCP congestion avoidance algorithm a remote Web server runs, together
+// with the simulated Internet it is evaluated against.
+//
+// The package is a facade over the building blocks in internal/:
+//
+//   - internal/cc: the 14 congestion avoidance algorithms (RENO, BIC,
+//     CTCP1/2, CUBIC1/2, HSTCP, HTCP, ILLINOIS, STCP, VEGAS, VENO,
+//     WESTWOOD+, YEAH) ported from the Linux kernel / CTCP paper.
+//   - internal/tcpsim + internal/websim: the simulated Web servers.
+//   - internal/probe: CAAI step 1 (trace gathering in emulated network
+//     environments A and B).
+//   - internal/feature: CAAI step 2 (feature extraction).
+//   - internal/forest: CAAI step 3 (random forest classification).
+//   - internal/census: the 63 124-server measurement study.
+//
+// Quick start:
+//
+//	id, err := caai.Train(caai.TrainingOptions{ConditionsPerPair: 25})
+//	if err != nil { ... }
+//	server := caai.NewTestbedServer("CUBIC2")
+//	rng := rand.New(rand.NewSource(1))
+//	result := id.Identify(server, caai.LosslessCondition(), rng)
+//	fmt.Println(result) // CUBIC2 (confidence 98%, wmax=512, mss=100)
+package caai
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/feature"
+	"repro/internal/forest"
+	"repro/internal/netem"
+	"repro/internal/probe"
+	"repro/internal/trace"
+	"repro/internal/websim"
+)
+
+// Re-exported result and configuration types. (Aliases keep the in-module
+// examples and tools on one import path.)
+type (
+	// Server is a simulated Web server (see NewTestbedServer).
+	Server = websim.Server
+	// Condition is a network condition between prober and server.
+	Condition = netem.Condition
+	// Identification is the outcome of identifying one server.
+	Identification = core.Identification
+	// Vector is the extracted feature vector.
+	Vector = feature.Vector
+	// Trace is a gathered window trace.
+	Trace = trace.Trace
+	// ProbeConfig tunes trace gathering (zero value = paper defaults).
+	ProbeConfig = probe.Config
+	// Algorithm is the congestion avoidance extension point: implement
+	// it to fingerprint your own algorithm (see examples/customcc).
+	Algorithm = cc.Algorithm
+	// Conn is the congestion state an Algorithm manipulates.
+	Conn = cc.Conn
+)
+
+// Labels re-exported from the pipeline.
+const (
+	// LabelUnsure is reported below the 40% confidence threshold.
+	LabelUnsure = core.LabelUnsure
+	// LabelRCSmall merges RENO/CTCP at small wmax thresholds.
+	LabelRCSmall = core.LabelRCSmall
+)
+
+// TrainingOptions configures Train.
+type TrainingOptions struct {
+	// ConditionsPerPair is the number of emulated network conditions
+	// per (algorithm, wmax) pair; the paper uses 100 (5600 vectors).
+	ConditionsPerPair int
+	// Trees and Subspace are the random forest parameters K and F
+	// (paper: 80 and 4).
+	Trees    int
+	Subspace int
+	// Seed makes training deterministic.
+	Seed int64
+}
+
+// Identifier is a trained CAAI instance. Safe for concurrent use.
+type Identifier struct {
+	core    *core.Identifier
+	dataset *forest.Dataset
+}
+
+// Train builds the training set on the emulated testbed and trains the
+// random forest, returning a ready-to-use identifier.
+func Train(opts TrainingOptions) (*Identifier, error) {
+	ds, err := core.GenerateTrainingSet(netem.MeasuredDatabase(), core.TrainingConfig{
+		ConditionsPerPair: opts.ConditionsPerPair,
+		Seed:              opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	model := forest.Train(ds, forest.Config{
+		Trees:    opts.Trees,
+		Subspace: opts.Subspace,
+		Seed:     opts.Seed + 1,
+	})
+	return &Identifier{core: core.NewIdentifier(model), dataset: ds}, nil
+}
+
+// Identify runs the full CAAI pipeline against server under cond: ladder
+// probing in environments A and B, feature extraction, special-case
+// detection, and random forest classification with the Unsure rule.
+func (id *Identifier) Identify(server *Server, cond Condition, rng *rand.Rand) Identification {
+	return id.core.Identify(server, cond, ProbeConfig{}, rng)
+}
+
+// IdentifyWithConfig is Identify with a custom probe configuration.
+func (id *Identifier) IdentifyWithConfig(server *Server, cond Condition, cfg ProbeConfig, rng *rand.Rand) Identification {
+	return id.core.Identify(server, cond, cfg, rng)
+}
+
+// TrainingSet exposes the generated training vectors.
+func (id *Identifier) TrainingSet() *forest.Dataset { return id.dataset }
+
+// Algorithms lists the 14 supported congestion avoidance algorithms.
+func Algorithms() []string { return cc.CAAINames() }
+
+// NewAlgorithm instantiates a registered algorithm by name.
+func NewAlgorithm(name string) (Algorithm, error) { return cc.New(name) }
+
+// NewTestbedServer returns a cooperative lab server running the named
+// algorithm (unlimited pipelining, an effectively infinite page).
+func NewTestbedServer(algorithm string) *Server { return websim.Testbed(algorithm) }
+
+// LosslessCondition returns the ideal testbed network condition.
+func LosslessCondition() Condition { return netem.Lossless }
+
+// SampleCondition draws a realistic Internet condition from the paper's
+// measured RTT/loss distributions (Figs. 4, 10, 11).
+func SampleCondition(rng *rand.Rand) Condition {
+	return netem.MeasuredDatabase().Sample(rng)
+}
+
+// GatherTraces runs only CAAI step 1 against server: environment A and B
+// trace gathering with the wmax/MSS ladders. Useful for inspecting raw
+// window traces.
+func GatherTraces(server *Server, cond Condition, cfg ProbeConfig, rng *rand.Rand) (ta, tb *Trace, wmax int, valid bool) {
+	p := probe.New(cfg, cond, rng)
+	res := p.Gather(server)
+	return res.TraceA, res.TraceB, res.Wmax, res.Valid
+}
+
+// ExtractFeatures runs only CAAI step 2 on a gathered trace pair.
+func ExtractFeatures(ta, tb *Trace) Vector { return feature.Extract(ta, tb) }
+
+// DefaultInterEnvWait is the paper's wait between environments A and B.
+const DefaultInterEnvWait = 10 * time.Minute

@@ -1,0 +1,94 @@
+package caai
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// sharedIdentifier caches one trained identifier across the facade tests.
+var sharedIdentifier *Identifier
+
+func identifier(t *testing.T) *Identifier {
+	t.Helper()
+	if sharedIdentifier == nil {
+		id, err := Train(TrainingOptions{ConditionsPerPair: 8, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedIdentifier = id
+	}
+	return sharedIdentifier
+}
+
+func TestAlgorithmsList(t *testing.T) {
+	names := Algorithms()
+	if len(names) != 14 {
+		t.Fatalf("Algorithms() = %v", names)
+	}
+}
+
+func TestNewAlgorithm(t *testing.T) {
+	alg, err := NewAlgorithm("CUBIC2")
+	if err != nil || alg.Name() != "CUBIC2" {
+		t.Fatalf("NewAlgorithm: %v, %v", alg, err)
+	}
+	if _, err := NewAlgorithm("BOGUS"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive")
+	}
+	id := identifier(t)
+	for _, alg := range []string{"CUBIC2", "BIC", "STCP"} {
+		got := id.Identify(NewTestbedServer(alg), LosslessCondition(), rand.New(rand.NewSource(3)))
+		if !got.Valid {
+			t.Fatalf("%s: invalid (%s)", alg, got.Reason)
+		}
+		if got.Label != alg {
+			t.Errorf("%s identified as %s (%.0f%%)", alg, got.Label, got.Confidence*100)
+		}
+	}
+}
+
+func TestGatherAndExtract(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ta, tb, wmax, valid := GatherTraces(NewTestbedServer("RENO"), LosslessCondition(), ProbeConfig{}, rng)
+	if !valid {
+		t.Fatal("gather failed")
+	}
+	if wmax != 512 {
+		t.Fatalf("wmax = %d, want 512 (first ladder entry works on the testbed)", wmax)
+	}
+	v := ExtractFeatures(ta, tb)
+	if v[0] != 0.5 {
+		t.Fatalf("betaA = %v, want 0.5", v[0])
+	}
+}
+
+func TestSampleCondition(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	c := SampleCondition(rng)
+	if c.MeanRTT <= 0 {
+		t.Fatalf("condition = %v", c)
+	}
+}
+
+func TestTrainingSetExposed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive")
+	}
+	id := identifier(t)
+	if id.TrainingSet().Len() != 14*4*8 {
+		t.Fatalf("training set = %d", id.TrainingSet().Len())
+	}
+}
+
+func TestDefaultInterEnvWait(t *testing.T) {
+	if DefaultInterEnvWait != 10*time.Minute {
+		t.Fatal("paper wait changed")
+	}
+}

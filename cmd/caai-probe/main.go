@@ -1,0 +1,58 @@
+// Command caai-probe runs the CAAI pipeline against one simulated Web
+// server and prints the gathered traces, the extracted feature vector, and
+// the classification.
+//
+// Usage:
+//
+//	caai-probe -algorithm CUBIC2 -loss 0.01 -conditions 25
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	caai "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "caai-probe:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	algorithm := flag.String("algorithm", "CUBIC2", "server congestion avoidance algorithm ("+strings.Join(caai.Algorithms(), ", ")+")")
+	loss := flag.Float64("loss", 0, "path packet-loss rate in [0,1]")
+	rttStddev := flag.Duration("jitter", 0, "path RTT standard deviation")
+	conditions := flag.Int("conditions", 25, "training conditions per (algorithm, wmax) pair")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	fmt.Printf("training CAAI (%d conditions per pair)...\n", *conditions)
+	id, err := caai.Train(caai.TrainingOptions{ConditionsPerPair: *conditions, Seed: *seed})
+	if err != nil {
+		return err
+	}
+
+	server := caai.NewTestbedServer(*algorithm)
+	cond := caai.Condition{MeanRTT: 50 * time.Millisecond, RTTStdDev: *rttStddev, LossRate: *loss}
+	rng := rand.New(rand.NewSource(*seed))
+
+	ta, tb, wmax, valid := caai.GatherTraces(server, cond, caai.ProbeConfig{}, rng)
+	if !valid {
+		return fmt.Errorf("no valid trace gathered from %s", server.Name)
+	}
+	fmt.Printf("\ntrace A: %s\n", ta)
+	fmt.Printf("trace B: %s\n", tb)
+	fmt.Printf("wmax: %d\n", wmax)
+	fmt.Printf("features: %s\n", caai.ExtractFeatures(ta, tb))
+
+	result := id.Identify(server, cond, rand.New(rand.NewSource(*seed+1)))
+	fmt.Printf("\nidentification: %s\n", result)
+	return nil
+}

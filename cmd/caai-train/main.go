@@ -1,0 +1,64 @@
+// Command caai-train generates the CAAI training set, cross-validates the
+// random forest (the paper's Table III), and optionally sweeps the forest
+// parameters (Fig. 12).
+//
+// Usage:
+//
+//	caai-train -conditions 100 -folds 10          # Table III
+//	caai-train -conditions 50 -sweep              # Fig. 12 parameter sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "caai-train:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	conditions := flag.Int("conditions", 100, "network conditions per (algorithm, wmax) pair")
+	folds := flag.Int("folds", 10, "cross-validation folds")
+	seed := flag.Int64("seed", 2011, "random seed")
+	sweep := flag.Bool("sweep", false, "also sweep K and F (Fig. 12)")
+	flag.Parse()
+
+	ctx := experiments.NewContext()
+	ctx.TrainingConditions = *conditions
+	ctx.Folds = *folds
+	ctx.Seed = *seed
+
+	ds, err := ctx.TrainingSet()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("training set: %d feature vectors, %d classes\n\n", ds.Len(), len(ds.Classes()))
+
+	t3, err := experiments.TableIII(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Println(t3)
+
+	if *sweep {
+		_, rendered, err := experiments.Fig12(ctx, nil, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(rendered)
+	}
+
+	_, cmp, err := experiments.ClassifierComparison(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Println(cmp)
+	return nil
+}

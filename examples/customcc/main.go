@@ -1,0 +1,65 @@
+// Customcc: fingerprint a user-defined congestion avoidance algorithm.
+//
+// The paper's motivation notes that "Linux developers can even design and
+// then add their own TCP algorithms"; this example implements one (an
+// AIMD with beta=2/3 and increase 3/RTT), gathers its window traces, and
+// shows that a trained CAAI reports it as UNSURE or misclassifies it with
+// low confidence -- exactly how an unknown algorithm shows up in the
+// census.
+//
+//	go run ./examples/customcc
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"time"
+
+	caai "repro"
+)
+
+// myAIMD is a homegrown congestion avoidance algorithm: slow start, then
+// +3 packets per RTT, and a multiplicative decrease of 2/3.
+type myAIMD struct{}
+
+var _ caai.Algorithm = (*myAIMD)(nil)
+
+func (*myAIMD) Name() string         { return "MY-AIMD" }
+func (*myAIMD) Reset(*caai.Conn)     {}
+func (*myAIMD) OnTimeout(*caai.Conn) {}
+func (*myAIMD) OnAck(c *caai.Conn, _ int, _ time.Duration) {
+	if c.InSlowStart() {
+		c.Cwnd++
+		return
+	}
+	c.Cwnd += 3 / c.Cwnd
+}
+func (*myAIMD) Ssthresh(c *caai.Conn) float64 {
+	return math.Max(c.Cwnd*2/3, 2)
+}
+
+func main() {
+	id, err := caai.Train(caai.TrainingOptions{ConditionsPerPair: 20, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	server := caai.NewTestbedServer("RENO") // base config...
+	server.Name = "my-custom-server"
+	server.CustomAlgorithm = func() caai.Algorithm { return &myAIMD{} } // ...custom stack
+
+	rng := rand.New(rand.NewSource(9))
+	ta, tb, wmax, valid := caai.GatherTraces(server, caai.LosslessCondition(), caai.ProbeConfig{}, rng)
+	if !valid {
+		log.Fatal("no valid trace")
+	}
+	fmt.Printf("custom algorithm traces (wmax=%d):\n  A: %s\n  B: %s\n", wmax, ta, tb)
+	fmt.Println("features:", caai.ExtractFeatures(ta, tb))
+
+	result := id.Identify(server, caai.LosslessCondition(), rng)
+	fmt.Println("\nCAAI says:", result)
+	fmt.Println("(an out-of-catalogue algorithm should surface as UNSURE or a low-confidence label;")
+	fmt.Println(" beta=0.667 and G(3)=9 sit between RENO and the high-speed group)")
+}

@@ -1,0 +1,45 @@
+// Quickstart: train CAAI and identify the congestion avoidance algorithm
+// of a simulated Web server, end to end.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	caai "repro"
+)
+
+func main() {
+	// Train on the emulated testbed: 14 algorithms x 4 wmax thresholds
+	// x 20 network conditions (the paper uses 100 per pair).
+	fmt.Println("training CAAI...")
+	id, err := caai.Train(caai.TrainingOptions{ConditionsPerPair: 20, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A remote Web server whose TCP algorithm we do not know. Here we
+	// simulate one running CUBIC (Linux >= 2.6.26) behind a realistic
+	// Internet path.
+	server := caai.NewTestbedServer("CUBIC2")
+	rng := rand.New(rand.NewSource(42))
+	cond := caai.SampleCondition(rng)
+	fmt.Printf("probing %s over path %s\n", server.Name, cond)
+
+	// The three CAAI steps, one call: gather window traces in emulated
+	// network environments A and B, extract the beta / growth features,
+	// classify with the random forest.
+	result := id.Identify(server, cond, rng)
+	fmt.Println("identification:", result)
+	fmt.Println("feature vector:", result.Vector)
+
+	// The raw traces are available too.
+	ta, tb, wmax, valid := caai.GatherTraces(server, cond, caai.ProbeConfig{}, rng)
+	if valid {
+		fmt.Printf("\nraw trace (env A, wmax=%d):\n  %s\n", wmax, ta)
+		fmt.Printf("raw trace (env B):\n  %s\n", tb)
+	}
+}

@@ -1,0 +1,35 @@
+// Tbitsurvey: probe the TCP components CAAI does NOT identify.
+//
+// The paper identifies only the congestion avoidance component and defers
+// the initial window and loss recovery components to TBIT (Padhye & Floyd,
+// SIGCOMM 2001), whose code CAAI extends. This example runs the
+// reimplemented TBIT probes against a spread of server stacks and also
+// demonstrates the Section IV-B result: measuring the multiplicative
+// decrease through a *loss event* is wrecked by Linux burstiness control,
+// which is why CAAI emulates timeouts.
+//
+//	go run ./examples/tbitsurvey
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	ctx := experiments.NewQuickContext()
+
+	survey, err := experiments.TBITSurvey(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(survey)
+
+	tvl, err := experiments.TimeoutVsLossEvent(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tvl)
+}

@@ -1,0 +1,29 @@
+// Tracegallery: render Fig. 3 -- the window traces of all 14 TCP
+// congestion avoidance algorithms in emulated environments A and B -- as
+// ASCII charts.
+//
+//	go run ./examples/tracegallery
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	ctx := experiments.NewQuickContext()
+	results, _, err := experiments.Fig3(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		series := map[string][]int{
+			"env A": append(append([]int{}, r.TraceA.Pre...), r.TraceA.Post...),
+			"env B": append(append([]int{}, r.TraceB.Pre...), r.TraceB.Post...),
+		}
+		fmt.Println(experiments.AsciiChart("Fig. 3: "+r.Algorithm, series, 14))
+		fmt.Println()
+	}
+}

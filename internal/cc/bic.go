@@ -1,0 +1,93 @@
+package cc
+
+import "time"
+
+// BIC parameters, following Linux tcp_bic.c (kernel 2.6.27 defaults).
+const (
+	bicLowWindow    = 14 // below this, behave like RENO
+	bicMaxIncrement = 16 // max additive increase per RTT
+	bicBeta         = 819.0 / 1024.0
+	bicB            = 4  // BICTCP_B: binary search coefficient
+	bicSmoothPart   = 20 // RTTs spent crossing from the origin to the max
+)
+
+// BIC is Binary Increase Congestion control (Xu, Harfoush, Rhee, INFOCOM
+// 2004), the Linux default before CUBIC. Growth binary-searches between the
+// current window and the window at the last loss; beta is 819/1024 ~= 0.8
+// for windows above 14 packets.
+type BIC struct {
+	lastMax         float64 // window size just before the last loss event
+	fastConvergence bool
+}
+
+var _ Algorithm = (*BIC)(nil)
+
+// NewBIC returns a BIC congestion avoidance component with kernel defaults.
+func NewBIC() *BIC { return &BIC{fastConvergence: true} }
+
+// Name implements Algorithm.
+func (*BIC) Name() string { return "BIC" }
+
+// Reset implements Algorithm.
+func (b *BIC) Reset(*Conn) { b.lastMax = 0 }
+
+// OnAck implements Algorithm, mirroring bictcp_cong_avoid/bictcp_update.
+func (b *BIC) OnAck(c *Conn, _ int, _ time.Duration) {
+	if slowStart(c) {
+		return
+	}
+	aiIncrease(c, b.count(c.Cwnd))
+}
+
+// count returns the number of ACKs needed to grow the window by one packet
+// (the kernel's ca->cnt).
+func (b *BIC) count(cwnd float64) float64 {
+	if cwnd <= bicLowWindow {
+		return cwnd // RENO region
+	}
+	if cwnd < b.lastMax {
+		// Binary search increase toward the midpoint.
+		dist := (b.lastMax - cwnd) / bicB
+		switch {
+		case dist > bicMaxIncrement:
+			return cwnd / bicMaxIncrement // linear increase
+		case dist <= 1:
+			return cwnd * bicSmoothPart / bicB // binary search
+		default:
+			return cwnd / dist
+		}
+	}
+	// Slow start probing beyond the previous maximum.
+	var cnt float64
+	switch {
+	case cwnd < b.lastMax+bicB:
+		cnt = cwnd * bicSmoothPart / bicB
+	case cwnd < b.lastMax+bicMaxIncrement*(bicB-1):
+		cnt = cwnd * (bicB - 1) / (cwnd - b.lastMax)
+	default:
+		cnt = cwnd / bicMaxIncrement
+	}
+	if b.lastMax == 0 && cnt > 20 {
+		cnt = 20 // careful initial probing when no maximum is known
+	}
+	return cnt
+}
+
+// Ssthresh implements Algorithm, mirroring bictcp_recalc_ssthresh.
+func (b *BIC) Ssthresh(c *Conn) float64 {
+	cwnd := c.Cwnd
+	if cwnd <= bicLowWindow {
+		b.lastMax = cwnd
+		return clampSsthresh(cwnd / 2)
+	}
+	if cwnd < b.lastMax && b.fastConvergence {
+		b.lastMax = cwnd * (1 + bicBeta) / 2
+	} else {
+		b.lastMax = cwnd
+	}
+	return clampSsthresh(cwnd * bicBeta)
+}
+
+// OnTimeout implements Algorithm: the kernel resets BIC state (including
+// the remembered maximum) when entering the Loss state.
+func (b *BIC) OnTimeout(*Conn) { b.lastMax = 0 }

@@ -1,0 +1,130 @@
+// Package cc implements the congestion avoidance components of the 14 TCP
+// algorithms studied by the CAAI paper (Yang et al., ToN 2014): RENO, BIC,
+// CTCP (Windows Server 2003 and 2008 variants), CUBIC (Linux <=2.6.25 and
+// >=2.6.26 variants), HSTCP, HTCP, ILLINOIS, STCP, VEGAS, VENO, WESTWOOD+,
+// and YEAH.
+//
+// Each algorithm follows the corresponding Linux kernel module of the
+// 2.6.25/2.6.27 era (tcp_bic.c, tcp_cubic.c, tcp_highspeed.c, tcp_htcp.c,
+// tcp_illinois.c, tcp_scalable.c, tcp_vegas.c, tcp_veno.c, tcp_westwood.c,
+// tcp_yeah.c) or, for CTCP, the Compound TCP paper (Tan, Song, Zhang,
+// Sridharan, INFOCOM 2006). Windows are tracked in packets as floats; ACK
+// processing follows the pre-ABC kernel semantics the paper's servers ran:
+// one congestion window update per received ACK, regardless of how many
+// segments the ACK covers.
+package cc
+
+import (
+	"math"
+	"time"
+)
+
+// InitialSsthresh is the conventional "infinite" initial slow start
+// threshold of a fresh connection, in packets.
+const InitialSsthresh = 1 << 30
+
+// minCwnd is the lower bound every multiplicative decrease respects
+// (RFC 5681's two-segment floor).
+const minCwnd = 2
+
+// Conn is the per-connection congestion state shared between the TCP sender
+// simulation and an Algorithm. The sender owns Cwnd/Ssthresh transitions on
+// loss; algorithms own growth and the Ssthresh computation.
+type Conn struct {
+	// Cwnd is the congestion window in packets.
+	Cwnd float64
+	// Ssthresh is the slow start threshold in packets.
+	Ssthresh float64
+	// MSS is the negotiated maximum segment size in bytes.
+	MSS int
+	// Now is the simulation clock at the event being processed.
+	Now time.Duration
+	// Round counts emulated RTT rounds; the sender increments it each
+	// round so per-RTT algorithms can detect round boundaries.
+	Round int64
+	// MinRTT and MaxRTT track the extreme RTT samples observed since the
+	// connection started (0 when no sample has been observed).
+	MinRTT time.Duration
+	MaxRTT time.Duration
+	// LossEvents counts timeouts experienced by the connection.
+	LossEvents int
+}
+
+// NewConn returns connection state for a fresh connection with the standard
+// "infinite" initial slow start threshold and the given initial window.
+func NewConn(mss int, initialWindow float64) *Conn {
+	return &Conn{
+		Cwnd:     initialWindow,
+		Ssthresh: InitialSsthresh,
+		MSS:      mss,
+	}
+}
+
+// InSlowStart reports whether the connection is in the slow start state.
+func (c *Conn) InSlowStart() bool { return c.Cwnd < c.Ssthresh }
+
+// ObserveRTT folds one RTT sample into the connection-lifetime extremes.
+func (c *Conn) ObserveRTT(rtt time.Duration) {
+	if rtt <= 0 {
+		return
+	}
+	if c.MinRTT == 0 || rtt < c.MinRTT {
+		c.MinRTT = rtt
+	}
+	if rtt > c.MaxRTT {
+		c.MaxRTT = rtt
+	}
+}
+
+// Algorithm is the congestion avoidance component of a TCP sender: the
+// window growth function and the multiplicative decrease parameter the CAAI
+// paper fingerprints. Implementations are stateful and not safe for
+// concurrent use; create one per connection.
+type Algorithm interface {
+	// Name returns the canonical algorithm name (e.g. "CUBIC2").
+	Name() string
+	// Reset prepares the algorithm for a fresh connection using c.
+	Reset(c *Conn)
+	// OnAck processes one received ACK that newly acknowledged acked
+	// segments, with the RTT sample rtt (0 when the sample is invalid,
+	// e.g. for a retransmission under Karn's rule). The algorithm may
+	// update c.Cwnd and, for delay-based exits, c.Ssthresh.
+	OnAck(c *Conn, acked int, rtt time.Duration)
+	// Ssthresh returns the new slow start threshold after a loss event or
+	// timeout, in packets (the multiplicative decrease beta*w of the
+	// paper). The sender applies it.
+	Ssthresh(c *Conn) float64
+	// OnTimeout notifies the algorithm of a retransmission timeout after
+	// the sender has applied Ssthresh and reset Cwnd to one packet.
+	OnTimeout(c *Conn)
+}
+
+// slowStart applies one standard slow start increment (one packet per ACK,
+// pre-ABC Linux semantics) and reports whether the ACK was consumed by slow
+// start.
+func slowStart(c *Conn) bool {
+	if !c.InSlowStart() {
+		return false
+	}
+	c.Cwnd++
+	return true
+}
+
+// renoIncrease applies the standard congestion avoidance increment of one
+// packet per window per RTT: cwnd += 1/cwnd for each ACK.
+func renoIncrease(c *Conn) { aiIncrease(c, c.Cwnd) }
+
+// aiIncrease applies a generalized additive increase of 1/cnt packets for
+// one ACK, mirroring the kernel's tcp_cong_avoid_ai.
+func aiIncrease(c *Conn, cnt float64) {
+	if cnt < 1 {
+		cnt = 1
+	}
+	c.Cwnd += 1 / cnt
+}
+
+// clampSsthresh applies the two-packet floor every decrease respects.
+func clampSsthresh(v float64) float64 { return math.Max(v, minCwnd) }
+
+// secs converts a duration to float seconds.
+func secs(d time.Duration) float64 { return d.Seconds() }

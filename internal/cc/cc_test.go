@@ -1,0 +1,81 @@
+package cc
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestNewConnDefaults(t *testing.T) {
+	c := NewConn(536, 4)
+	if c.Cwnd != 4 {
+		t.Fatalf("Cwnd = %v, want 4", c.Cwnd)
+	}
+	if c.Ssthresh != InitialSsthresh {
+		t.Fatalf("Ssthresh = %v, want infinite", c.Ssthresh)
+	}
+	if !c.InSlowStart() {
+		t.Fatal("fresh connection must be in slow start")
+	}
+}
+
+func TestObserveRTT(t *testing.T) {
+	c := NewConn(536, 2)
+	c.ObserveRTT(0) // ignored
+	if c.MinRTT != 0 || c.MaxRTT != 0 {
+		t.Fatal("zero sample must be ignored")
+	}
+	c.ObserveRTT(time.Second)
+	c.ObserveRTT(800 * time.Millisecond)
+	c.ObserveRTT(1200 * time.Millisecond)
+	if c.MinRTT != 800*time.Millisecond {
+		t.Fatalf("MinRTT = %v", c.MinRTT)
+	}
+	if c.MaxRTT != 1200*time.Millisecond {
+		t.Fatalf("MaxRTT = %v", c.MaxRTT)
+	}
+}
+
+func TestSlowStartHelper(t *testing.T) {
+	c := NewConn(536, 2)
+	c.Ssthresh = 4
+	if !slowStart(c) || c.Cwnd != 3 {
+		t.Fatalf("slow start should consume ACK; cwnd=%v", c.Cwnd)
+	}
+	c.Cwnd = 4 // at threshold: congestion avoidance
+	if slowStart(c) {
+		t.Fatal("cwnd at ssthresh must not be slow start")
+	}
+}
+
+func TestAIIncreaseFloorsCount(t *testing.T) {
+	c := NewConn(536, 2)
+	c.Cwnd = 10
+	aiIncrease(c, 0.5) // cnt below 1 clamps to 1
+	if c.Cwnd != 11 {
+		t.Fatalf("Cwnd = %v, want 11", c.Cwnd)
+	}
+}
+
+func TestRenoIncreasePerRTT(t *testing.T) {
+	c := NewConn(536, 2)
+	c.Ssthresh = 10
+	c.Cwnd = 10
+	r := NewReno()
+	// A window's worth of ACKs grows the window by ~one packet.
+	for i := 0; i < 10; i++ {
+		r.OnAck(c, 1, time.Second)
+	}
+	if math.Abs(c.Cwnd-11) > 0.05 {
+		t.Fatalf("Cwnd after one RTT = %v, want ~11", c.Cwnd)
+	}
+}
+
+func TestClampSsthreshFloor(t *testing.T) {
+	if got := clampSsthresh(0.3); got != 2 {
+		t.Fatalf("clampSsthresh(0.3) = %v, want 2", got)
+	}
+	if got := clampSsthresh(77); got != 77 {
+		t.Fatalf("clampSsthresh(77) = %v", got)
+	}
+}

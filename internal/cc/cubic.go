@@ -1,0 +1,146 @@
+package cc
+
+import (
+	"math"
+	"time"
+)
+
+// CubicVersion selects which Linux CUBIC generation to emulate. The paper
+// distinguishes CUBIC1 (kernel 2.6.25 and before) from CUBIC2 (kernel
+// 2.6.26 and after); the observable difference is the multiplicative
+// decrease parameter (819/1024 vs 717/1024).
+type CubicVersion int
+
+const (
+	// CubicLinux2625 is the CUBIC of Linux kernels <= 2.6.25 (beta ~0.8).
+	CubicLinux2625 CubicVersion = iota + 1
+	// CubicLinux2626 is the CUBIC of Linux kernels >= 2.6.26 (beta ~0.7).
+	CubicLinux2626
+)
+
+// cubicC is the paper's C constant (the kernel's bic_scale=41 corresponds
+// to C = 0.4 in the CUBIC function W(t) = C*(t-K)^3 + Wmax).
+const cubicC = 0.4
+
+// Cubic is the CUBIC congestion avoidance algorithm (Ha, Rhee, Xu, 2008;
+// Linux tcp_cubic.c). The window follows a cubic function of the elapsed
+// real time since the last decrease, with a TCP-friendly region that tracks
+// what RENO would have achieved.
+type Cubic struct {
+	version CubicVersion
+	beta    float64
+
+	lastMax     float64       // remembered window at last loss
+	epochStart  time.Duration // start of the current cubic epoch (<0: unset)
+	originPoint float64       // plateau window of the cubic function
+	k           float64       // seconds from epoch start to the plateau
+	delayMin    time.Duration // min RTT observed (kernel's delay_min)
+	ackCnt      float64       // ACKs since epoch start (friendliness)
+	tcpCwnd     float64       // estimated RENO window (friendliness)
+}
+
+var _ Algorithm = (*Cubic)(nil)
+
+// NewCubic returns a CUBIC component for the requested kernel generation.
+func NewCubic(v CubicVersion) *Cubic {
+	beta := 717.0 / 1024.0
+	if v == CubicLinux2625 {
+		beta = 819.0 / 1024.0
+	}
+	return &Cubic{version: v, beta: beta, epochStart: -1}
+}
+
+// Name implements Algorithm.
+func (cu *Cubic) Name() string {
+	if cu.version == CubicLinux2625 {
+		return "CUBIC1"
+	}
+	return "CUBIC2"
+}
+
+// Reset implements Algorithm, mirroring bictcp_reset.
+func (cu *Cubic) Reset(*Conn) {
+	cu.lastMax = 0
+	cu.epochStart = -1
+	cu.originPoint = 0
+	cu.k = 0
+	cu.delayMin = 0
+	cu.ackCnt = 0
+	cu.tcpCwnd = 0
+}
+
+// OnAck implements Algorithm, mirroring bictcp_cong_avoid/bictcp_update.
+func (cu *Cubic) OnAck(c *Conn, _ int, rtt time.Duration) {
+	if rtt > 0 && (cu.delayMin == 0 || rtt < cu.delayMin) {
+		cu.delayMin = rtt
+	}
+	if slowStart(c) {
+		return
+	}
+	aiIncrease(c, cu.count(c))
+}
+
+// count computes the kernel's ca->cnt: ACKs needed per packet of growth.
+func (cu *Cubic) count(c *Conn) float64 {
+	cwnd := c.Cwnd
+	cu.ackCnt++
+	if cu.epochStart < 0 {
+		cu.epochStart = c.Now
+		cu.ackCnt = 1
+		cu.tcpCwnd = cwnd
+		if cu.lastMax > cwnd {
+			cu.k = math.Cbrt((cu.lastMax - cwnd) / cubicC)
+			cu.originPoint = cu.lastMax
+		} else {
+			cu.k = 0
+			cu.originPoint = cwnd
+		}
+	}
+	// Elapsed epoch time, extended by the minimum RTT exactly as the
+	// kernel does so that the target is one RTT ahead.
+	t := secs(c.Now-cu.epochStart) + secs(cu.delayMin)
+	d := t - cu.k
+	target := cu.originPoint + cubicC*d*d*d
+
+	var cnt float64
+	if target > cwnd {
+		cnt = cwnd / (target - cwnd)
+	} else {
+		cnt = 100 * cwnd // effectively no growth above the target
+	}
+	// TCP-friendly region: track the window RENO would have reached and
+	// never grow slower than it. The emulated RENO gains
+	// 3*(1-beta)/(1+beta) packets per RTT.
+	alpha := 3 * (1 - cu.beta) / (1 + cu.beta)
+	delta := cwnd / alpha // ACKs per packet of RENO-equivalent growth
+	for cu.ackCnt > delta {
+		cu.ackCnt -= delta
+		cu.tcpCwnd++
+	}
+	if cu.tcpCwnd > cwnd {
+		if maxCnt := cwnd / (cu.tcpCwnd - cwnd); cnt > maxCnt {
+			cnt = maxCnt
+		}
+	}
+	if cnt < 2 {
+		cnt = 2 // cap growth at 0.5 packets per ACK
+	}
+	return cnt
+}
+
+// Ssthresh implements Algorithm, mirroring bictcp_recalc_ssthresh with fast
+// convergence enabled.
+func (cu *Cubic) Ssthresh(c *Conn) float64 {
+	cwnd := c.Cwnd
+	cu.epochStart = -1
+	if cwnd < cu.lastMax {
+		cu.lastMax = cwnd * (1 + cu.beta) / 2
+	} else {
+		cu.lastMax = cwnd
+	}
+	return clampSsthresh(cwnd * cu.beta)
+}
+
+// OnTimeout implements Algorithm: the kernel resets all CUBIC state when
+// the connection enters the Loss state.
+func (cu *Cubic) OnTimeout(*Conn) { cu.Reset(nil) }

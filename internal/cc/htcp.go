@@ -1,0 +1,114 @@
+package cc
+
+import (
+	"time"
+)
+
+// H-TCP parameters from Shorten and Leith (PFLDNet 2004) and Linux
+// tcp_htcp.c.
+const (
+	htcpBetaMin = 0.5
+	htcpBetaMax = 0.8
+	// htcpDeltaL is the low-speed regime duration: for the first second
+	// after a congestion event H-TCP behaves exactly like RENO.
+	htcpDeltaL = 1.0 // seconds
+)
+
+// HTCP is Hamilton TCP: the additive increase grows quadratically with the
+// elapsed time since the last congestion event, and the multiplicative
+// decrease adapts to the ratio of the minimum and maximum RTT (between 0.5
+// and 0.8).
+type HTCP struct {
+	beta     float64
+	lastCong time.Duration // time of the last congestion event
+	// epochMinRTT/epochMaxRTT track RTT extremes since the last backoff,
+	// used for the adaptive beta.
+	epochMinRTT time.Duration
+	epochMaxRTT time.Duration
+	// waitCAEntry restarts the alpha clock when congestion avoidance is
+	// (re-)entered after slow start, mirroring the kernel's last_cong
+	// bookkeeping when the connection returns to the Open state.
+	waitCAEntry bool
+}
+
+var _ Algorithm = (*HTCP)(nil)
+
+// NewHTCP returns an H-TCP congestion avoidance component.
+func NewHTCP() *HTCP { return &HTCP{beta: htcpBetaMin} }
+
+// Name implements Algorithm.
+func (*HTCP) Name() string { return "HTCP" }
+
+// Reset implements Algorithm.
+func (h *HTCP) Reset(c *Conn) {
+	h.beta = htcpBetaMin
+	h.lastCong = c.Now
+	h.epochMinRTT = 0
+	h.epochMaxRTT = 0
+	h.waitCAEntry = false
+}
+
+// alpha returns the H-TCP additive increase factor for the current elapsed
+// time since the last congestion event, scaled by 2*(1-beta) as in the
+// kernel so throughput matches the unscaled design targets.
+func (h *HTCP) alpha(c *Conn) float64 {
+	delta := secs(c.Now - h.lastCong)
+	a := 1.0
+	if delta > htcpDeltaL {
+		d := delta - htcpDeltaL
+		a = 1 + 10*d + 0.25*d*d
+	}
+	a *= 2 * (1 - h.beta)
+	if a < 1 {
+		a = 1
+	}
+	return a
+}
+
+// OnAck implements Algorithm.
+func (h *HTCP) OnAck(c *Conn, _ int, rtt time.Duration) {
+	if rtt > 0 {
+		if h.epochMinRTT == 0 || rtt < h.epochMinRTT {
+			h.epochMinRTT = rtt
+		}
+		if rtt > h.epochMaxRTT {
+			h.epochMaxRTT = rtt
+		}
+	}
+	if slowStart(c) {
+		return
+	}
+	if h.waitCAEntry {
+		// First congestion avoidance ACK after recovery: restart the
+		// alpha clock so growth ramps up from RENO speed.
+		h.lastCong = c.Now
+		h.waitCAEntry = false
+	}
+	aiIncrease(c, c.Cwnd/h.alpha(c))
+}
+
+// Ssthresh implements Algorithm: beta adapts to minRTT/maxRTT within
+// [0.5, 0.8], then the window is scaled by it.
+func (h *HTCP) Ssthresh(c *Conn) float64 {
+	if h.epochMinRTT > 0 && h.epochMaxRTT > 0 {
+		ratio := secs(h.epochMinRTT) / secs(h.epochMaxRTT)
+		switch {
+		case ratio < htcpBetaMin:
+			h.beta = htcpBetaMin
+		case ratio > htcpBetaMax:
+			h.beta = htcpBetaMax
+		default:
+			h.beta = ratio
+		}
+	} else {
+		h.beta = htcpBetaMin
+	}
+	h.lastCong = c.Now
+	h.epochMinRTT = 0
+	h.epochMaxRTT = 0
+	return clampSsthresh(c.Cwnd * h.beta)
+}
+
+// OnTimeout implements Algorithm: the alpha clock restarts when congestion
+// avoidance resumes after the post-timeout slow start.
+func (h *HTCP) OnTimeout(*Conn) { h.waitCAEntry = true }

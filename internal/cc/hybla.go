@@ -1,0 +1,54 @@
+package cc
+
+import (
+	"math"
+	"time"
+)
+
+// hyblaRTT0 is HYBLA's reference round-trip time: flows with RTT above it
+// get proportionally more aggressive growth so satellite-grade RTTs reach
+// terrestrial throughput.
+const hyblaRTT0 = 25 * time.Millisecond
+
+// Hybla is TCP Hybla (Caini and Firrincieli 2004; Linux tcp_hybla.c),
+// designed for satellite links. The paper's Table I lists it but CAAI does
+// not probe for it ("not designed for Web servers"); it is implemented
+// here to complete the Table I catalogue and for use as an out-of-training
+// algorithm in robustness tests.
+type Hybla struct {
+	rho float64 // RTT ratio rtt/rtt0, floored at 1
+}
+
+var _ Algorithm = (*Hybla)(nil)
+
+// NewHybla returns a HYBLA congestion avoidance component.
+func NewHybla() *Hybla { return &Hybla{rho: 1} }
+
+// Name implements Algorithm.
+func (*Hybla) Name() string { return "HYBLA" }
+
+// Reset implements Algorithm.
+func (h *Hybla) Reset(*Conn) { h.rho = 1 }
+
+// OnAck implements Algorithm: slow start gains 2^rho - 1 packets per ACK,
+// congestion avoidance rho^2/cwnd.
+func (h *Hybla) OnAck(c *Conn, _ int, rtt time.Duration) {
+	if rtt > 0 {
+		h.rho = math.Max(secs(rtt)/secs(hyblaRTT0), 1)
+		// The kernel caps the exponent to keep slow start sane.
+		if h.rho > 16 {
+			h.rho = 16
+		}
+	}
+	if c.InSlowStart() {
+		c.Cwnd += math.Pow(2, h.rho) - 1
+		return
+	}
+	aiIncrease(c, c.Cwnd/(h.rho*h.rho))
+}
+
+// Ssthresh implements Algorithm: HYBLA keeps the RENO halving.
+func (*Hybla) Ssthresh(c *Conn) float64 { return clampSsthresh(c.Cwnd / 2) }
+
+// OnTimeout implements Algorithm.
+func (*Hybla) OnTimeout(*Conn) {}

@@ -1,0 +1,160 @@
+package cc
+
+import (
+	"time"
+)
+
+// TCP-Illinois parameters from Liu, Basar, Srikant (VALUETOOLS 2006) and
+// Linux tcp_illinois.c.
+const (
+	illAlphaBase = 1.0
+	illAlphaMin  = 0.3
+	illAlphaMax  = 10.0
+	illBetaBase  = 0.5
+	illBetaMin   = 0.125
+	illBetaMax   = 0.5
+	// illWinThresh: below this window Illinois uses the base AIMD.
+	illWinThresh = 15.0
+	// illTheta: RTT rounds of low delay required before alpha snaps back
+	// to its maximum.
+	illTheta = 5
+)
+
+// Illinois is TCP-Illinois, a loss-delay hybrid: losses decide *when* to
+// decrease, queueing delay decides *how much* to increase (alpha in
+// [0.3, 10]) and decrease (beta in [0.125, 0.5]).
+type Illinois struct {
+	alpha float64
+	beta  float64
+
+	baseRTT time.Duration // minimum RTT over the connection
+	maxRTT  time.Duration // maximum RTT over the connection
+
+	sumRTT    time.Duration // accumulated samples within the round
+	cntRTT    int
+	lastRound int64
+
+	rttAbove bool // delay has exceeded d1 since the last snap-back
+	rttLow   int  // consecutive low-delay rounds
+}
+
+var _ Algorithm = (*Illinois)(nil)
+
+// NewIllinois returns a TCP-Illinois congestion avoidance component.
+func NewIllinois() *Illinois {
+	return &Illinois{alpha: illAlphaBase, beta: illBetaBase}
+}
+
+// Name implements Algorithm.
+func (*Illinois) Name() string { return "ILLINOIS" }
+
+// Reset implements Algorithm.
+func (il *Illinois) Reset(c *Conn) {
+	il.alpha = illAlphaBase
+	il.beta = illBetaBase
+	il.baseRTT = 0
+	il.maxRTT = 0
+	il.sumRTT = 0
+	il.cntRTT = 0
+	il.lastRound = c.Round
+	il.rttAbove = false
+	il.rttLow = 0
+}
+
+// OnAck implements Algorithm.
+func (il *Illinois) OnAck(c *Conn, _ int, rtt time.Duration) {
+	if rtt > 0 {
+		if il.baseRTT == 0 || rtt < il.baseRTT {
+			il.baseRTT = rtt
+		}
+		if rtt > il.maxRTT {
+			il.maxRTT = rtt
+		}
+		il.sumRTT += rtt
+		il.cntRTT++
+	}
+	if c.Round != il.lastRound {
+		il.updateParams(c)
+		il.lastRound = c.Round
+	}
+	if slowStart(c) {
+		return
+	}
+	aiIncrease(c, c.Cwnd/il.alpha)
+}
+
+// updateParams recomputes alpha and beta once per RTT round, mirroring the
+// kernel's update_params/alpha/beta functions.
+func (il *Illinois) updateParams(c *Conn) {
+	defer func() {
+		il.sumRTT = 0
+		il.cntRTT = 0
+	}()
+	if c.Cwnd < illWinThresh {
+		il.alpha = illAlphaBase
+		il.beta = illBetaBase
+		return
+	}
+	if il.cntRTT == 0 || il.baseRTT == 0 {
+		return
+	}
+	avg := secs(il.sumRTT) / float64(il.cntRTT)
+	da := avg - secs(il.baseRTT)       // average queueing delay
+	dm := secs(il.maxRTT - il.baseRTT) // maximum queueing delay
+	il.alpha = il.nextAlpha(da, dm)
+	il.beta = nextIllinoisBeta(da, dm)
+}
+
+// nextAlpha follows tcp_illinois.c's alpha(): snap to the maximum after
+// theta consecutive low-delay rounds, otherwise decay hyperbolically
+// between alphaMax at d1 and alphaMin at dm.
+func (il *Illinois) nextAlpha(da, dm float64) float64 {
+	d1 := dm / 100
+	if dm == 0 || da <= d1 {
+		if !il.rttAbove {
+			return illAlphaMax
+		}
+		il.rttLow++
+		if il.rttLow < illTheta {
+			return il.alpha
+		}
+		il.rttLow = 0
+		il.rttAbove = false
+		return illAlphaMax
+	}
+	il.rttAbove = true
+	dm -= d1
+	da -= d1
+	return dm * illAlphaMax / (dm + da*(illAlphaMax-illAlphaMin)/illAlphaMin)
+}
+
+// nextIllinoisBeta follows tcp_illinois.c's beta(): betaMin below dm/10,
+// betaMax above 8dm/10, linear in between.
+func nextIllinoisBeta(da, dm float64) float64 {
+	d2 := dm / 10
+	d3 := 8 * dm / 10
+	if da <= d2 {
+		return illBetaMin
+	}
+	if da >= d3 || d3 <= d2 {
+		return illBetaMax
+	}
+	return (illBetaMin*d3 - illBetaMax*d2 + (illBetaMax-illBetaMin)*da) / (d3 - d2)
+}
+
+// Ssthresh implements Algorithm: shed beta of the window.
+func (il *Illinois) Ssthresh(c *Conn) float64 {
+	return clampSsthresh(c.Cwnd * (1 - il.beta))
+}
+
+// OnTimeout implements Algorithm, mirroring tcp_illinois_state on entering
+// Loss: parameters return to base, delay history restarts, the base RTT is
+// retained.
+func (il *Illinois) OnTimeout(*Conn) {
+	il.alpha = illAlphaBase
+	il.beta = illBetaBase
+	il.rttLow = 0
+	il.rttAbove = false
+	il.sumRTT = 0
+	il.cntRTT = 0
+}

@@ -1,0 +1,91 @@
+package cc
+
+import "time"
+
+// TCP-LP thresholds (Kuzmanovic and Knightly 2003; Linux tcp_lp.c).
+const (
+	// lpThresholdFrac: congestion is inferred when the smoothed one-way
+	// delay exceeds this fraction of the observed delay range.
+	lpThresholdFrac = 0.15
+	// lpInference is the back-off holddown after an inference.
+	lpInference = time.Second
+)
+
+// LP is TCP Low Priority: a RENO-shaped algorithm that additionally backs
+// off as soon as its smoothed queueing-delay estimate crosses 15% of the
+// observed delay range, yielding to best-effort traffic. The paper's
+// Table I lists it but CAAI does not probe for it ("designed for
+// background file transfer"); it completes the catalogue and serves as an
+// out-of-training algorithm in robustness tests.
+//
+// Simplification (documented in DESIGN.md): the kernel infers one-way
+// delay from TCP timestamps; this port uses the RTT minus the minimum RTT,
+// which is the same signal in the round-driven simulation.
+type LP struct {
+	minOwd   float64 // seconds
+	maxOwd   float64
+	sowd     float64 // smoothed one-way delay
+	haveOwd  bool
+	lastBack time.Duration // last inference-driven backoff
+}
+
+var _ Algorithm = (*LP)(nil)
+
+// NewLP returns a TCP-LP congestion avoidance component.
+func NewLP() *LP { return &LP{} }
+
+// Name implements Algorithm.
+func (*LP) Name() string { return "LP" }
+
+// Reset implements Algorithm.
+func (l *LP) Reset(*Conn) {
+	l.minOwd, l.maxOwd, l.sowd = 0, 0, 0
+	l.haveOwd = false
+	l.lastBack = -lpInference
+}
+
+// OnAck implements Algorithm.
+func (l *LP) OnAck(c *Conn, _ int, rtt time.Duration) {
+	if rtt > 0 && c.MinRTT > 0 {
+		owd := secs(rtt - c.MinRTT)
+		if owd < 0 {
+			owd = 0
+		}
+		if !l.haveOwd {
+			l.minOwd, l.maxOwd, l.sowd = owd, owd, owd
+			l.haveOwd = true
+		} else {
+			if owd < l.minOwd {
+				l.minOwd = owd
+			}
+			if owd > l.maxOwd {
+				l.maxOwd = owd
+			}
+			l.sowd = (7*l.sowd + owd) / 8
+		}
+	}
+	// Within the inference holddown the window is frozen (the kernel's
+	// LP_WITHIN_INF state): no slow start, no additive increase.
+	if c.Now-l.lastBack < lpInference {
+		return
+	}
+	// Low-priority inference: any queueing beyond 15% of the observed
+	// range means best-effort traffic is present; back off to one
+	// packet and hold for the inference period.
+	rangeOwd := l.maxOwd - l.minOwd
+	if l.haveOwd && rangeOwd > 0 && l.sowd > l.minOwd+lpThresholdFrac*rangeOwd {
+		c.Cwnd = 1
+		l.lastBack = c.Now
+		return
+	}
+	if slowStart(c) {
+		return
+	}
+	renoIncrease(c)
+}
+
+// Ssthresh implements Algorithm: RENO halving.
+func (*LP) Ssthresh(c *Conn) float64 { return clampSsthresh(c.Cwnd / 2) }
+
+// OnTimeout implements Algorithm.
+func (l *LP) OnTimeout(c *Conn) { l.lastBack = c.Now }

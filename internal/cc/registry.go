@@ -1,0 +1,133 @@
+package cc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Family identifies the operating system family an algorithm ships with
+// (the paper's Table I).
+type Family int
+
+// Operating system families of Table I.
+const (
+	FamilyLinux Family = iota + 1
+	FamilyWindows
+	FamilyBoth
+	FamilyNone // research algorithms not shipped as an OS option
+)
+
+// String returns the Table I column label.
+func (f Family) String() string {
+	switch f {
+	case FamilyLinux:
+		return "Linux"
+	case FamilyWindows:
+		return "Windows"
+	case FamilyBoth:
+		return "Linux+Windows"
+	case FamilyNone:
+		return "None"
+	default:
+		return fmt.Sprintf("Family(%d)", int(f))
+	}
+}
+
+// Info describes one registered algorithm for Table I and the census.
+type Info struct {
+	// Name is the canonical algorithm name (registry key).
+	Name string
+	// Family is the OS family shipping the algorithm.
+	Family Family
+	// Default reports whether the algorithm is a default in some OS
+	// release of its family.
+	Default bool
+	// CAAI reports whether the algorithm is one of the 14 the paper's
+	// identifier targets. HYBLA (satellite links) and LP (background
+	// transfers) appear in Table I but are excluded from probing, as in
+	// Section III-A.
+	CAAI bool
+	// Description is a one-line summary.
+	Description string
+	// New constructs a fresh instance for one connection.
+	New func() Algorithm
+}
+
+// registry holds all known algorithms keyed by canonical name. It is
+// populated once below and treated as immutable afterwards.
+var registry = buildRegistry()
+
+func buildRegistry() map[string]Info {
+	infos := []Info{
+		{"RENO", FamilyBoth, true, true, "traditional AIMD (Jacobson 1988)", func() Algorithm { return NewReno() }},
+		{"BIC", FamilyLinux, true, true, "binary increase congestion control (default before Linux 2.6.19)", func() Algorithm { return NewBIC() }},
+		{"CTCP1", FamilyWindows, true, true, "Compound TCP, Windows Server 2003 / XP build", func() Algorithm { return NewCTCP(CTCPWindows2003) }},
+		{"CTCP2", FamilyWindows, true, true, "Compound TCP, Windows Server 2008 / Vista / 7 build", func() Algorithm { return NewCTCP(CTCPWindows2008) }},
+		{"CUBIC1", FamilyLinux, true, true, "CUBIC as in Linux <= 2.6.25 (beta 0.8)", func() Algorithm { return NewCubic(CubicLinux2625) }},
+		{"CUBIC2", FamilyLinux, true, true, "CUBIC as in Linux >= 2.6.26 (beta 0.7)", func() Algorithm { return NewCubic(CubicLinux2626) }},
+		{"HSTCP", FamilyLinux, false, true, "HighSpeed TCP (RFC 3649)", func() Algorithm { return NewHSTCP() }},
+		{"HTCP", FamilyLinux, false, true, "Hamilton TCP", func() Algorithm { return NewHTCP() }},
+		{"ILLINOIS", FamilyLinux, false, true, "TCP-Illinois loss-delay hybrid", func() Algorithm { return NewIllinois() }},
+		{"STCP", FamilyLinux, false, true, "Scalable TCP", func() Algorithm { return NewSTCP() }},
+		{"VEGAS", FamilyLinux, false, true, "TCP Vegas delay-based", func() Algorithm { return NewVegas() }},
+		{"VENO", FamilyLinux, false, true, "TCP Veno for wireless losses", func() Algorithm { return NewVeno() }},
+		{"WESTWOOD", FamilyLinux, false, true, "TCP Westwood+ bandwidth estimation", func() Algorithm { return NewWestwood() }},
+		{"YEAH", FamilyLinux, false, true, "YeAH-TCP mixed-mode high speed", func() Algorithm { return NewYeAH() }},
+		{"HYBLA", FamilyLinux, false, false, "TCP Hybla for satellite RTTs (in Table I; not probed by CAAI)", func() Algorithm { return NewHybla() }},
+		{"LP", FamilyLinux, false, false, "TCP-LP low-priority transfers (in Table I; not probed by CAAI)", func() Algorithm { return NewLP() }},
+	}
+	m := make(map[string]Info, len(infos))
+	for _, info := range infos {
+		m[info.Name] = info
+	}
+	return m
+}
+
+// Names returns all registered algorithm names in sorted order, including
+// the two Table I algorithms CAAI does not probe for.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CAAINames returns the 14 algorithm names the paper's identifier
+// targets, sorted.
+func CAAINames() []string {
+	names := make([]string, 0, len(registry))
+	for name, info := range registry {
+		if info.CAAI {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Lookup returns the Info for name.
+func Lookup(name string) (Info, bool) {
+	info, ok := registry[name]
+	return info, ok
+}
+
+// New constructs a fresh algorithm instance by name.
+func New(name string) (Algorithm, error) {
+	info, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("cc: unknown algorithm %q", name)
+	}
+	return info.New(), nil
+}
+
+// All returns the Info records of all algorithms, sorted by name.
+func All() []Info {
+	names := Names()
+	infos := make([]Info, 0, len(names))
+	for _, n := range names {
+		infos = append(infos, registry[n])
+	}
+	return infos
+}

@@ -1,0 +1,35 @@
+package cc
+
+import "time"
+
+// Reno is the traditional AIMD congestion avoidance algorithm (Jacobson
+// 1988, RFC 5681): additive increase of one packet per RTT and a
+// multiplicative decrease parameter of 0.5. The paper uses RENO to refer to
+// the congestion avoidance component shared by Reno, NewReno and SACK.
+type Reno struct{}
+
+var _ Algorithm = (*Reno)(nil)
+
+// NewReno returns a RENO congestion avoidance component.
+func NewReno() *Reno { return &Reno{} }
+
+// Name implements Algorithm.
+func (*Reno) Name() string { return "RENO" }
+
+// Reset implements Algorithm.
+func (*Reno) Reset(*Conn) {}
+
+// OnAck implements Algorithm: slow start below ssthresh, then one packet
+// per window per RTT.
+func (*Reno) OnAck(c *Conn, _ int, _ time.Duration) {
+	if slowStart(c) {
+		return
+	}
+	renoIncrease(c)
+}
+
+// Ssthresh implements Algorithm: half the window (beta = 0.5).
+func (*Reno) Ssthresh(c *Conn) float64 { return clampSsthresh(c.Cwnd / 2) }
+
+// OnTimeout implements Algorithm.
+func (*Reno) OnTimeout(*Conn) {}

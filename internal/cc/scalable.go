@@ -1,0 +1,46 @@
+package cc
+
+import "time"
+
+// Scalable TCP parameters from Kelly (CCR 2003) and Linux tcp_scalable.c.
+const (
+	// stcpAICnt bounds the per-ACK increase: cwnd += 1/min(cwnd, 50),
+	// i.e. multiplicative growth of 2% per RTT for large windows.
+	stcpAICnt = 50.0
+	// stcpBeta is the multiplicative decrease parameter (1 - 1/8).
+	stcpBeta = 0.875
+)
+
+// STCP is Scalable TCP: exponential window growth (a constant 0.01 packets
+// per ACK in the original design, 1/min(w,50) in the Linux port) and a
+// multiplicative decrease parameter of 0.875.
+type STCP struct{}
+
+var _ Algorithm = (*STCP)(nil)
+
+// NewSTCP returns a Scalable TCP congestion avoidance component.
+func NewSTCP() *STCP { return &STCP{} }
+
+// Name implements Algorithm.
+func (*STCP) Name() string { return "STCP" }
+
+// Reset implements Algorithm.
+func (*STCP) Reset(*Conn) {}
+
+// OnAck implements Algorithm.
+func (*STCP) OnAck(c *Conn, _ int, _ time.Duration) {
+	if slowStart(c) {
+		return
+	}
+	cnt := c.Cwnd
+	if cnt > stcpAICnt {
+		cnt = stcpAICnt
+	}
+	aiIncrease(c, cnt)
+}
+
+// Ssthresh implements Algorithm.
+func (*STCP) Ssthresh(c *Conn) float64 { return clampSsthresh(c.Cwnd * stcpBeta) }
+
+// OnTimeout implements Algorithm.
+func (*STCP) OnTimeout(*Conn) {}

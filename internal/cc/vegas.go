@@ -1,0 +1,109 @@
+package cc
+
+import (
+	"math"
+	"time"
+)
+
+// Vegas parameters from Brakmo, O'Malley, Peterson (SIGCOMM 1994) and Linux
+// tcp_vegas.c.
+const (
+	vegasAlpha = 2.0 // grow when fewer than alpha packets are queued
+	vegasBeta  = 4.0 // shrink when more than beta packets are queued
+	vegasGamma = 1.0 // leave slow start when gamma packets are queued
+)
+
+// Vegas is TCP Vegas, the classic delay-based algorithm: it estimates the
+// number of its own packets queued at the bottleneck from the difference
+// between expected and actual throughput and holds the window between alpha
+// and beta queued packets.
+type Vegas struct {
+	baseRTT   time.Duration // minimum RTT over the connection
+	roundRTT  time.Duration // minimum RTT within the current round
+	cntRTT    int
+	lastRound int64
+}
+
+var _ Algorithm = (*Vegas)(nil)
+
+// NewVegas returns a Vegas congestion avoidance component.
+func NewVegas() *Vegas { return &Vegas{} }
+
+// Name implements Algorithm.
+func (*Vegas) Name() string { return "VEGAS" }
+
+// Reset implements Algorithm.
+func (v *Vegas) Reset(c *Conn) {
+	v.baseRTT = 0
+	v.roundRTT = 0
+	v.cntRTT = 0
+	v.lastRound = c.Round
+}
+
+// OnAck implements Algorithm. Window adjustments happen once per RTT round;
+// within a round Vegas slow starts normally below ssthresh.
+func (v *Vegas) OnAck(c *Conn, _ int, rtt time.Duration) {
+	if rtt > 0 {
+		if v.baseRTT == 0 || rtt < v.baseRTT {
+			v.baseRTT = rtt
+		}
+		if v.roundRTT == 0 || rtt < v.roundRTT {
+			v.roundRTT = rtt
+		}
+		v.cntRTT++
+	}
+	if c.Round != v.lastRound {
+		v.endRound(c)
+		v.lastRound = c.Round
+	}
+	if c.InSlowStart() {
+		c.Cwnd++
+	}
+	// In congestion avoidance all growth decisions are per-round.
+}
+
+// endRound applies the per-RTT Vegas window update.
+func (v *Vegas) endRound(c *Conn) {
+	cnt := v.cntRTT
+	rtt := v.roundRTT
+	v.cntRTT = 0
+	v.roundRTT = 0
+	if cnt <= 2 || rtt == 0 || v.baseRTT == 0 {
+		// Too few samples: fall back to RENO behaviour for the round
+		// (the kernel does the same).
+		if !c.InSlowStart() {
+			c.Cwnd += 1 // one packet per RTT
+		}
+		return
+	}
+	// diff: estimated packets queued at the bottleneck.
+	diff := c.Cwnd * (secs(rtt) - secs(v.baseRTT)) / secs(v.baseRTT)
+	if c.InSlowStart() {
+		if diff > vegasGamma {
+			// Leaving slow start: retreat to the target window.
+			target := c.Cwnd * secs(v.baseRTT) / secs(rtt)
+			c.Cwnd = math.Min(c.Cwnd, target+1)
+			c.Ssthresh = math.Min(c.Ssthresh, math.Max(c.Cwnd-1, minCwnd))
+		}
+		return
+	}
+	switch {
+	case diff > vegasBeta:
+		c.Cwnd--
+	case diff < vegasAlpha:
+		c.Cwnd++
+	}
+	if c.Cwnd < minCwnd {
+		c.Cwnd = minCwnd
+	}
+}
+
+// Ssthresh implements Algorithm: Vegas does not override the RENO halving.
+func (*Vegas) Ssthresh(c *Conn) float64 { return clampSsthresh(c.Cwnd / 2) }
+
+// OnTimeout implements Algorithm: round accounting restarts; the base RTT
+// estimate survives (it is a connection-lifetime minimum in the kernel).
+func (v *Vegas) OnTimeout(*Conn) {
+	v.roundRTT = 0
+	v.cntRTT = 0
+}

@@ -1,0 +1,97 @@
+package cc
+
+import "time"
+
+// Veno parameters from Fu and Liew (JSAC 2003) and Linux tcp_veno.c.
+const (
+	// venoBeta: backlog threshold distinguishing random loss from
+	// congestive loss, in packets.
+	venoBeta = 3.0
+)
+
+// Veno is TCP Veno: RENO growth with a Vegas-style backlog estimate used to
+// (a) halve the growth rate when the network is congested and (b) shed only
+// one fifth of the window on losses deemed random (backlog < 3 packets).
+type Veno struct {
+	baseRTT   time.Duration
+	roundRTT  time.Duration
+	cntRTT    int
+	lastRound int64
+	diff      float64 // latest backlog estimate, used by Ssthresh
+	incToggle bool    // halve growth rate by acting on alternate ACKs
+}
+
+var _ Algorithm = (*Veno)(nil)
+
+// NewVeno returns a Veno congestion avoidance component.
+func NewVeno() *Veno { return &Veno{incToggle: true} }
+
+// Name implements Algorithm.
+func (*Veno) Name() string { return "VENO" }
+
+// Reset implements Algorithm.
+func (v *Veno) Reset(c *Conn) {
+	v.baseRTT = 0
+	v.roundRTT = 0
+	v.cntRTT = 0
+	v.lastRound = c.Round
+	v.diff = 0
+	v.incToggle = true
+}
+
+// OnAck implements Algorithm.
+func (v *Veno) OnAck(c *Conn, _ int, rtt time.Duration) {
+	if rtt > 0 {
+		if v.baseRTT == 0 || rtt < v.baseRTT {
+			v.baseRTT = rtt
+		}
+		if v.roundRTT == 0 || rtt < v.roundRTT {
+			v.roundRTT = rtt
+		}
+		v.cntRTT++
+	}
+	if c.Round != v.lastRound {
+		v.endRound(c)
+		v.lastRound = c.Round
+	}
+	if slowStart(c) {
+		return
+	}
+	if v.diff < venoBeta {
+		// Available bandwidth not fully used: RENO increase.
+		renoIncrease(c)
+		return
+	}
+	// Congestion imminent: increase by one packet every other RTT.
+	if v.incToggle {
+		renoIncrease(c)
+	}
+}
+
+// endRound recomputes the backlog estimate once per RTT.
+func (v *Veno) endRound(c *Conn) {
+	rtt := v.roundRTT
+	cnt := v.cntRTT
+	v.roundRTT = 0
+	v.cntRTT = 0
+	v.incToggle = !v.incToggle
+	if cnt == 0 || rtt == 0 || v.baseRTT == 0 {
+		return
+	}
+	v.diff = c.Cwnd * (secs(rtt) - secs(v.baseRTT)) / secs(v.baseRTT)
+}
+
+// Ssthresh implements Algorithm: 4/5 of the window for random loss
+// (backlog below 3 packets), half otherwise.
+func (v *Veno) Ssthresh(c *Conn) float64 {
+	if v.diff < venoBeta {
+		return clampSsthresh(c.Cwnd * 4 / 5)
+	}
+	return clampSsthresh(c.Cwnd / 2)
+}
+
+// OnTimeout implements Algorithm.
+func (v *Veno) OnTimeout(*Conn) {
+	v.roundRTT = 0
+	v.cntRTT = 0
+}

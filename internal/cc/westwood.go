@@ -1,0 +1,80 @@
+package cc
+
+import "time"
+
+// Westwood+ parameters from Casetti, Gerla, Mascolo, Sanadidi, Wang
+// (MobiCom 2001) and Linux tcp_westwood.c.
+const (
+	// westwoodRTTMinWindow is the minimum bandwidth-sampling interval.
+	westwoodRTTMinWindow = 50 * time.Millisecond
+)
+
+// Westwood is TCP Westwood+: RENO-style growth, but on loss the slow start
+// threshold is set from an end-to-end bandwidth estimate times the minimum
+// RTT (the estimated path BDP) instead of a fixed fraction of the window.
+type Westwood struct {
+	bwNsEst float64 // first-stage filter, packets/second
+	bwEst   float64 // second-stage filter, packets/second
+	first   bool
+
+	acked       float64       // packets acknowledged since the last sample
+	windowStart time.Duration // start of the current sampling window
+}
+
+var _ Algorithm = (*Westwood)(nil)
+
+// NewWestwood returns a Westwood+ congestion avoidance component.
+func NewWestwood() *Westwood { return &Westwood{first: true} }
+
+// Name implements Algorithm.
+func (*Westwood) Name() string { return "WESTWOOD" }
+
+// Reset implements Algorithm.
+func (w *Westwood) Reset(c *Conn) {
+	w.bwNsEst = 0
+	w.bwEst = 0
+	w.first = true
+	w.acked = 0
+	w.windowStart = c.Now
+}
+
+// OnAck implements Algorithm: RENO growth plus bandwidth sampling once per
+// RTT (or 50 ms, whichever is larger).
+func (w *Westwood) OnAck(c *Conn, acked int, rtt time.Duration) {
+	w.acked += float64(acked)
+	interval := rtt
+	if interval < westwoodRTTMinWindow {
+		interval = westwoodRTTMinWindow
+	}
+	if delta := c.Now - w.windowStart; delta >= interval && delta > 0 {
+		sample := w.acked / secs(delta)
+		if w.first {
+			w.bwNsEst = sample
+			w.bwEst = sample
+			w.first = false
+		} else {
+			// Two-stage EWMA filter (7/8 history, 1/8 new).
+			w.bwNsEst = (7*w.bwNsEst + sample) / 8
+			w.bwEst = (7*w.bwEst + w.bwNsEst) / 8
+		}
+		w.acked = 0
+		w.windowStart = c.Now
+	}
+	if slowStart(c) {
+		return
+	}
+	renoIncrease(c)
+}
+
+// Ssthresh implements Algorithm: the estimated bandwidth-delay product in
+// packets, bwEst * minRTT.
+func (w *Westwood) Ssthresh(c *Conn) float64 {
+	return clampSsthresh(w.bwEst * secs(c.MinRTT))
+}
+
+// OnTimeout implements Algorithm: sampling restarts after the silent
+// period so it does not count the timeout as an ultra-slow sample.
+func (w *Westwood) OnTimeout(c *Conn) {
+	w.acked = 0
+	w.windowStart = c.Now
+}

@@ -1,0 +1,143 @@
+package cc
+
+import (
+	"math"
+	"time"
+)
+
+// YeAH parameters from Baiocchi, Castellani, Vacirca (PFLDNet 2007) and
+// Linux tcp_yeah.c.
+const (
+	yeahAlpha   = 80.0 // max packets queued at the bottleneck (fast mode)
+	yeahGamma   = 1.0  // fraction of queue drained on precautionary decongestion
+	yeahDelta   = 3    // ssthresh reduction floor shift: cwnd/8
+	yeahEpsilon = 1    // precautionary reduction cap shift: cwnd/2
+	yeahPhy     = 8.0  // RTT inflation threshold: baseRTT/8
+	yeahRho     = 16   // reno rounds before losses are treated as congestive
+	yeahZeta    = 50.0 // fast-mode rounds before the reno count decays
+)
+
+// YeAH is "Yet Another Highspeed TCP": STCP-style growth while the
+// estimated bottleneck queue is small ("fast mode"), RENO behaviour
+// otherwise, with a precautionary delay-based decongestion and an adaptive
+// decrease between 1/8 and 1/2 of the window.
+type YeAH struct {
+	baseRTT   time.Duration
+	roundRTT  time.Duration
+	cntRTT    int
+	lastRound int64
+
+	doingRenoNow int     // consecutive slow-mode rounds
+	fastCount    int     // consecutive fast-mode rounds
+	renoCount    float64 // estimated fair RENO window
+	lastQ        float64 // latest queue estimate
+}
+
+var _ Algorithm = (*YeAH)(nil)
+
+// NewYeAH returns a YeAH congestion avoidance component.
+func NewYeAH() *YeAH { return &YeAH{renoCount: minCwnd} }
+
+// Name implements Algorithm.
+func (*YeAH) Name() string { return "YEAH" }
+
+// Reset implements Algorithm.
+func (y *YeAH) Reset(c *Conn) {
+	y.baseRTT = 0
+	y.roundRTT = 0
+	y.cntRTT = 0
+	y.lastRound = c.Round
+	y.doingRenoNow = 0
+	y.fastCount = 0
+	y.renoCount = minCwnd
+	y.lastQ = 0
+}
+
+// OnAck implements Algorithm.
+func (y *YeAH) OnAck(c *Conn, _ int, rtt time.Duration) {
+	if rtt > 0 {
+		if y.baseRTT == 0 || rtt < y.baseRTT {
+			y.baseRTT = rtt
+		}
+		if y.roundRTT == 0 || rtt < y.roundRTT {
+			y.roundRTT = rtt
+		}
+		y.cntRTT++
+	}
+	if c.Round != y.lastRound {
+		y.endRound(c)
+		y.lastRound = c.Round
+	}
+	if slowStart(c) {
+		return
+	}
+	if y.doingRenoNow > 0 {
+		renoIncrease(c)
+		return
+	}
+	// Fast mode: Scalable TCP increase.
+	cnt := c.Cwnd
+	if cnt > stcpAICnt {
+		cnt = stcpAICnt
+	}
+	aiIncrease(c, cnt)
+}
+
+// endRound applies the once-per-RTT queue estimation and mode switch,
+// mirroring tcp_yeah_cong_avoid's per-RTT block.
+func (y *YeAH) endRound(c *Conn) {
+	rtt := y.roundRTT
+	cnt := y.cntRTT
+	y.roundRTT = 0
+	y.cntRTT = 0
+	if cnt <= 2 || rtt == 0 || y.baseRTT == 0 {
+		return
+	}
+	queue := c.Cwnd * (secs(rtt) - secs(y.baseRTT)) / secs(rtt)
+	if queue > yeahAlpha || secs(rtt-y.baseRTT) > secs(y.baseRTT)/yeahPhy {
+		if queue > yeahAlpha && c.Cwnd > y.renoCount {
+			// Precautionary decongestion.
+			reduction := math.Min(queue/yeahGamma, c.Cwnd/(1<<yeahEpsilon))
+			c.Cwnd = math.Max(c.Cwnd-reduction, y.renoCount)
+			c.Ssthresh = c.Cwnd
+		}
+		if y.renoCount <= 2 {
+			y.renoCount = math.Max(c.Cwnd/2, minCwnd)
+		} else {
+			y.renoCount++
+		}
+		y.doingRenoNow++
+	} else {
+		y.fastCount++
+		if y.fastCount > yeahZeta {
+			y.renoCount = minCwnd
+			y.fastCount = 0
+		}
+		y.doingRenoNow = 0
+	}
+	y.lastQ = queue
+}
+
+// Ssthresh implements Algorithm: shed the estimated queue, at least 1/8 and
+// at most 1/2 of the window, unless losses look congestive (long slow-mode
+// streak), in which case halve.
+func (y *YeAH) Ssthresh(c *Conn) float64 {
+	var reduction float64
+	if y.doingRenoNow < yeahRho {
+		reduction = y.lastQ
+		reduction = math.Min(reduction, math.Max(c.Cwnd/2, minCwnd))
+		reduction = math.Max(reduction, c.Cwnd/(1<<yeahDelta))
+	} else {
+		reduction = math.Max(c.Cwnd/2, minCwnd)
+	}
+	y.fastCount = 0
+	y.renoCount = math.Max(y.renoCount/2, minCwnd)
+	return clampSsthresh(c.Cwnd - reduction)
+}
+
+// OnTimeout implements Algorithm.
+func (y *YeAH) OnTimeout(*Conn) {
+	y.roundRTT = 0
+	y.cntRTT = 0
+	y.doingRenoNow = 0
+}

@@ -1,0 +1,319 @@
+// Package census builds the synthetic Internet the paper's measurement
+// study runs against -- 63 124 Web servers with realistic page sizes,
+// pipelining limits, minimum segment sizes, geography, software, TCP stack
+// quirks, and a configurable ground-truth mix of congestion avoidance
+// algorithms -- and runs the full CAAI pipeline over it to regenerate
+// Table IV.
+package census
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/websim"
+)
+
+// GroundTruth ties a generated server to what CAAI should ideally report.
+type GroundTruth struct {
+	// Server is the simulated Web server.
+	Server *websim.Server
+	// Algorithm is the effective algorithm name (after proxies), or
+	// "UNKNOWN" for the out-of-catalogue algorithm servers.
+	Algorithm string
+	// Special is the engineered special trace shape, if any.
+	Special trace.Special
+}
+
+// PopulationConfig controls population generation.
+type PopulationConfig struct {
+	// Servers is the population size; the paper measured 63 124.
+	Servers int
+	// Seed drives generation deterministically.
+	Seed int64
+	// AlgorithmMix maps algorithm names to relative weights among
+	// ordinary servers. Defaults to a mix consistent with Table IV.
+	AlgorithmMix map[string]float64
+	// FRTOFraction of servers run F-RTO (Linux default of the era).
+	FRTOFraction float64
+	// CachingFraction of servers cache the slow start threshold.
+	CachingFraction float64
+	// ProxyFraction of IIS servers sit behind Linux load balancers, so
+	// CAAI observes the proxy's algorithm.
+	ProxyFraction float64
+	// IgnoreRTOFraction of servers never respond to the emulated
+	// timeout (invalid traces).
+	IgnoreRTOFraction float64
+	// SpecialFraction of servers per special shape knob.
+	SpecialFraction map[trace.Special]float64
+	// UnknownFraction of servers run an algorithm outside the 14
+	// (feeds the "Unsure TCP" bucket).
+	UnknownFraction float64
+}
+
+// DefaultPopulationConfig returns a population consistent with the paper's
+// census findings: BIC/CUBIC plurality, a large share of early CTCP, a
+// small RENO remnant, and a tail of non-default algorithms.
+func DefaultPopulationConfig() PopulationConfig {
+	return PopulationConfig{
+		Servers: 63124,
+		Seed:    2011,
+		AlgorithmMix: map[string]float64{
+			"BIC":      0.235,
+			"CUBIC1":   0.060,
+			"CUBIC2":   0.135,
+			"CTCP1":    0.130,
+			"CTCP2":    0.030,
+			"RENO":     0.150,
+			"HTCP":     0.050,
+			"HSTCP":    0.012,
+			"ILLINOIS": 0.012,
+			"STCP":     0.006,
+			"VEGAS":    0.008,
+			"VENO":     0.012,
+			"WESTWOOD": 0.012,
+			"YEAH":     0.008,
+		},
+		FRTOFraction:      0.35,
+		CachingFraction:   0.10,
+		ProxyFraction:     0.15,
+		IgnoreRTOFraction: 0.01,
+		SpecialFraction: map[trace.Special]float64{
+			trace.RemainingAtOne:      0.012,
+			trace.NonincreasingWindow: 0.015,
+			trace.ApproachingWmax:     0.010,
+			trace.BoundedWindow:       0.015,
+		},
+		UnknownFraction: 0.02,
+	}
+}
+
+// Demographic tables from Section VII-B1.
+var (
+	regionWeights = []weighted{
+		{"Europe", 0.4328}, {"North America", 0.3192}, {"Asia", 0.2146},
+		{"South America", 0.0197}, {"Australia", 0.0083}, {"Africa", 0.0054},
+	}
+	softwareWeights = []weighted{
+		{"Apache", 0.7020}, {"Nginx", 0.1285}, {"IIS", 0.1113},
+		{"LiteSpeed", 0.0136}, {"Other", 0.0446},
+	}
+	// Table II: minimum segment sizes accepted (synthetic split; the
+	// paper's exact numbers are not in the text, only that most servers
+	// accept 100 B).
+	minMSSWeights = []weighted{
+		{"100", 0.78}, {"300", 0.08}, {"536", 0.09}, {"1460", 0.05},
+	}
+)
+
+type weighted struct {
+	key    string
+	weight float64
+}
+
+func pickWeighted(rng *rand.Rand, table []weighted) string {
+	r := rng.Float64()
+	acc := 0.0
+	for _, w := range table {
+		acc += w.weight
+		if r < acc {
+			return w.key
+		}
+	}
+	return table[len(table)-1].key
+}
+
+// Fig. 6: CDF of the maximum number of repeated HTTP requests accepted
+// (about 47% accept only one, ~60% accept three or fewer).
+var requestLimitCDF = stats.MustECDF([]stats.Anchor{
+	{Value: 1, Cum: 0.47},
+	{Value: 2, Cum: 0.55},
+	{Value: 3, Cum: 0.60},
+	{Value: 5, Cum: 0.68},
+	{Value: 8, Cum: 0.75},
+	{Value: 12, Cum: 0.84},
+	{Value: 20, Cum: 0.91},
+	{Value: 50, Cum: 0.97},
+	{Value: 100, Cum: 1},
+})
+
+// Fig. 7: CDF of default Web page sizes (only ~12% exceed 100 kB).
+var defaultPageCDF = stats.MustECDF([]stats.Anchor{
+	{Value: 512, Cum: 0},
+	{Value: 2 << 10, Cum: 0.12},
+	{Value: 10 << 10, Cum: 0.45},
+	{Value: 50 << 10, Cum: 0.76},
+	{Value: 100 << 10, Cum: 0.88},
+	{Value: 1 << 20, Cum: 0.97},
+	{Value: 10 << 20, Cum: 1},
+})
+
+// Fig. 7: CDF of the longest page the searching tool finds (~48% exceed
+// 100 kB).
+var longestPageCDF = stats.MustECDF([]stats.Anchor{
+	{Value: 1 << 10, Cum: 0},
+	{Value: 10 << 10, Cum: 0.15},
+	{Value: 50 << 10, Cum: 0.36},
+	{Value: 100 << 10, Cum: 0.52},
+	{Value: 500 << 10, Cum: 0.74},
+	{Value: 1 << 20, Cum: 0.83},
+	{Value: 10 << 20, Cum: 0.96},
+	{Value: 100 << 20, Cum: 1},
+})
+
+// RequestLimitCDF exposes the Fig. 6 distribution.
+func RequestLimitCDF() *stats.ECDF { return requestLimitCDF }
+
+// DefaultPageCDF exposes the Fig. 7 default-page distribution.
+func DefaultPageCDF() *stats.ECDF { return defaultPageCDF }
+
+// LongestPageCDF exposes the Fig. 7 longest-page distribution.
+func LongestPageCDF() *stats.ECDF { return longestPageCDF }
+
+// MinMSSShares returns the Table II acceptance shares.
+func MinMSSShares() map[int]float64 {
+	out := make(map[int]float64, len(minMSSWeights))
+	for _, w := range minMSSWeights {
+		var mss int
+		fmt.Sscanf(w.key, "%d", &mss)
+		out[mss] = w.weight
+	}
+	return out
+}
+
+// windowsAlgorithms is the CTCP/RENO mix used for IIS hosts.
+var windowsAlgorithms = []weighted{
+	{"CTCP1", 0.55}, {"CTCP2", 0.20}, {"RENO", 0.25},
+}
+
+// GeneratePopulation builds the synthetic server population.
+func GeneratePopulation(cfg PopulationConfig) []GroundTruth {
+	if cfg.Servers <= 0 {
+		cfg.Servers = 63124
+	}
+	if len(cfg.AlgorithmMix) == 0 {
+		cfg.AlgorithmMix = DefaultPopulationConfig().AlgorithmMix
+	}
+	mix := normalizeMix(cfg.AlgorithmMix)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := make([]GroundTruth, 0, cfg.Servers)
+	for i := 0; i < cfg.Servers; i++ {
+		out = append(out, generateServer(cfg, mix, rng, i))
+	}
+	return out
+}
+
+func normalizeMix(in map[string]float64) []weighted {
+	total := 0.0
+	for _, w := range in {
+		total += w
+	}
+	names := cc.CAAINames()
+	out := make([]weighted, 0, len(in))
+	for _, n := range names {
+		if w, ok := in[n]; ok && w > 0 {
+			out = append(out, weighted{n, w / total})
+		}
+	}
+	return out
+}
+
+func generateServer(cfg PopulationConfig, mix []weighted, rng *rand.Rand, i int) GroundTruth {
+	software := pickWeighted(rng, softwareWeights)
+	srv := &websim.Server{
+		Name:        fmt.Sprintf("srv-%05d", i),
+		Software:    software,
+		Region:      pickWeighted(rng, regionWeights),
+		MaxRequests: int(requestLimitCDF.Sample(rng)),
+		MinMSS:      pickMSS(rng),
+	}
+	srv.DefaultPageBytes = int64(defaultPageCDF.Sample(rng))
+	srv.LongestPageBytes = srv.DefaultPageBytes
+	if long := int64(longestPageCDF.Sample(rng)); long > srv.LongestPageBytes {
+		srv.LongestPageBytes = long
+	}
+
+	// Algorithm assignment: IIS hosts run Windows stacks unless a proxy
+	// splits the connection; everything else draws from the global mix.
+	truthAlg := ""
+	if software == "IIS" {
+		srv.Algorithm = pickWeighted(rng, windowsAlgorithms)
+		if rng.Float64() < cfg.ProxyFraction {
+			srv.ProxyAlgorithm = pickWeighted(rng, []weighted{{"BIC", 0.5}, {"CUBIC2", 0.35}, {"CUBIC1", 0.15}})
+		}
+	} else {
+		srv.Algorithm = pickWeighted(rng, mix)
+	}
+	truthAlg = srv.EffectiveAlgorithm()
+
+	truth := GroundTruth{Server: srv, Algorithm: truthAlg}
+
+	// Stack behaviour knobs.
+	if rng.Float64() < cfg.FRTOFraction && software != "IIS" {
+		srv.FRTO = true
+	}
+	if rng.Float64() < cfg.CachingFraction {
+		srv.SsthreshCaching = true
+		srv.CacheTTL = 5 * time.Minute
+	}
+	if rng.Float64() < cfg.IgnoreRTOFraction {
+		srv.IgnoreRTO = true
+	}
+	if rng.Float64() < cfg.UnknownFraction {
+		srv.CustomAlgorithm = func() cc.Algorithm { return newUnknownAlgorithm() }
+		truth.Algorithm = "UNKNOWN"
+	}
+	applySpecial(cfg, rng, srv, &truth)
+	return truth
+}
+
+func pickMSS(rng *rand.Rand) int {
+	switch pickWeighted(rng, minMSSWeights) {
+	case "100":
+		return 100
+	case "300":
+		return 300
+	case "536":
+		return 536
+	default:
+		return 1460
+	}
+}
+
+// applySpecial engineers one of the Section VII-B3 trace shapes on a
+// fraction of servers.
+func applySpecial(cfg PopulationConfig, rng *rand.Rand, srv *websim.Server, truth *GroundTruth) {
+	r := rng.Float64()
+	acc := 0.0
+	for _, sp := range []trace.Special{
+		trace.RemainingAtOne, trace.NonincreasingWindow,
+		trace.ApproachingWmax, trace.BoundedWindow,
+	} {
+		acc += cfg.SpecialFraction[sp]
+		if r >= acc {
+			continue
+		}
+		truth.Special = sp
+		switch sp {
+		case trace.RemainingAtOne:
+			// The stack never reopens the window after the timeout.
+			srv.PostTimeoutClamp = 1
+		case trace.NonincreasingWindow:
+			// In-flight data pinned by a small send buffer: the
+			// post-timeout window rises to the buffer and stays.
+			srv.SendBufferSegments = 70 + int64(rng.Intn(120))
+		case trace.ApproachingWmax:
+			// Auto-tuned stacks that asymptotically re-approach the
+			// pre-timeout window.
+			srv.CustomAlgorithm = func() cc.Algorithm { return newApproacher() }
+		case trace.BoundedWindow:
+			// Window clamp above the slow start threshold: growth,
+			// then a hard ceiling.
+			srv.CwndClamp = float64(70 + rng.Intn(120))
+		}
+		return
+	}
+}

@@ -1,0 +1,93 @@
+package census
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/cc"
+)
+
+// unknownAlgorithm is an out-of-catalogue congestion avoidance algorithm
+// (an aggressive AIMD with beta 0.6 and increase 2.5/RTT) used to exercise
+// the paper's "Unsure TCP" bucket: its feature vector matches none of the
+// 14 training classes well.
+type unknownAlgorithm struct{}
+
+var _ cc.Algorithm = (*unknownAlgorithm)(nil)
+
+func newUnknownAlgorithm() *unknownAlgorithm { return &unknownAlgorithm{} }
+
+// Name implements cc.Algorithm.
+func (*unknownAlgorithm) Name() string { return "UNKNOWN" }
+
+// Reset implements cc.Algorithm.
+func (*unknownAlgorithm) Reset(*cc.Conn) {}
+
+// OnAck implements cc.Algorithm.
+func (*unknownAlgorithm) OnAck(c *cc.Conn, _ int, _ time.Duration) {
+	if c.InSlowStart() {
+		c.Cwnd++
+		return
+	}
+	c.Cwnd += 2.5 / c.Cwnd
+}
+
+// Ssthresh implements cc.Algorithm.
+func (*unknownAlgorithm) Ssthresh(c *cc.Conn) float64 {
+	return math.Max(c.Cwnd*0.6, 2)
+}
+
+// OnTimeout implements cc.Algorithm.
+func (*unknownAlgorithm) OnTimeout(*cc.Conn) {}
+
+// approacher produces the paper's "Approaching w(tmo)" special shape
+// (Fig. 16): after a timeout the window climbs quickly at first, then ever
+// more slowly as it approaches the pre-timeout window -- the observable
+// behaviour of stacks whose buffer auto-tuning converges back to the old
+// operating point. The paper itself only hypothesises about the cause; this
+// is the documented synthetic stand-in (DESIGN.md).
+type approacher struct {
+	target float64 // window at the last loss
+}
+
+var _ cc.Algorithm = (*approacher)(nil)
+
+func newApproacher() *approacher { return &approacher{} }
+
+// NewApproacherAlgorithm exposes the Approaching-Wmax behaviour to the
+// experiments package and examples.
+func NewApproacherAlgorithm() cc.Algorithm { return newApproacher() }
+
+// NewUnknownAlgorithm exposes the out-of-catalogue algorithm to the
+// experiments package and examples.
+func NewUnknownAlgorithm() cc.Algorithm { return newUnknownAlgorithm() }
+
+// Name implements cc.Algorithm.
+func (*approacher) Name() string { return "APPROACHER" }
+
+// Reset implements cc.Algorithm.
+func (a *approacher) Reset(*cc.Conn) { a.target = 0 }
+
+// OnAck implements cc.Algorithm.
+func (a *approacher) OnAck(c *cc.Conn, _ int, _ time.Duration) {
+	if c.InSlowStart() {
+		c.Cwnd++
+		return
+	}
+	if a.target <= c.Cwnd {
+		c.Cwnd += 1 / c.Cwnd // fall back to RENO before any loss
+		return
+	}
+	// Exponential approach: close 30% of the remaining gap per RTT.
+	c.Cwnd += 0.3 * (a.target - c.Cwnd) / c.Cwnd
+}
+
+// Ssthresh implements cc.Algorithm: exit slow start at half the gap so
+// congestion avoidance has a visible approach phase.
+func (a *approacher) Ssthresh(c *cc.Conn) float64 {
+	a.target = c.Cwnd
+	return math.Max(c.Cwnd/2, 2)
+}
+
+// OnTimeout implements cc.Algorithm.
+func (*approacher) OnTimeout(*cc.Conn) {}

@@ -1,0 +1,241 @@
+// Package core assembles the CAAI pipeline, the paper's primary
+// contribution: training-set generation on the emulated testbed (14
+// algorithms x 4 wmax thresholds x 100 network conditions = 5600 feature
+// vectors, with RENO/CTCP merged into RC-small at small thresholds),
+// random forest training, and the identifier that turns gathered traces
+// into an algorithm label with the 40% confidence rule and the special
+// trace shapes of Section VII-B.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/feature"
+	"repro/internal/forest"
+	"repro/internal/netem"
+	"repro/internal/probe"
+	"repro/internal/trace"
+	"repro/internal/websim"
+)
+
+// Labels CAAI reports beyond the plain algorithm names.
+const (
+	// LabelRCSmall merges RENO, CTCP1 and CTCP2 gathered with wmax of 64
+	// or 128 packets, where the three are indistinguishable.
+	LabelRCSmall = "RC-SMALL"
+	// LabelUnsure is reported when fewer than 40% of the trees agree.
+	LabelUnsure = "UNSURE"
+	// bigSuffix marks RENO/CTCP labels learned at wmax >= 256.
+	bigSuffix = "-BIG"
+)
+
+// UnsureThreshold is the minimum random forest confidence.
+const UnsureThreshold = 0.40
+
+// rcSmallWmax is the largest wmax at which RENO and CTCP merge.
+const rcSmallWmax = 128
+
+// TrainingLabel maps an algorithm name and the gathering wmax to the class
+// label used for training and reporting.
+func TrainingLabel(algorithm string, wmax int) string {
+	switch algorithm {
+	case "RENO", "CTCP1", "CTCP2":
+		if wmax <= rcSmallWmax {
+			return LabelRCSmall
+		}
+		return algorithm + bigSuffix
+	default:
+		return algorithm
+	}
+}
+
+// TrainingConfig controls training set generation.
+type TrainingConfig struct {
+	// ConditionsPerPair is how many random network conditions are
+	// emulated per (algorithm, wmax) pair; the paper uses 100.
+	ConditionsPerPair int
+	// WmaxValues are the thresholds to train at; default 512/256/128/64.
+	WmaxValues []int
+	// MSS is the training segment size (the paper found MSS has no
+	// impact on feature vectors; default 536).
+	MSS int
+	// Algorithms defaults to all 14 registered algorithms.
+	Algorithms []string
+	// Seed drives all randomness deterministically.
+	Seed int64
+	// Parallelism bounds concurrent trace gathering; 0 = GOMAXPROCS.
+	Parallelism int
+	// Probe customizes the prober; zero value = paper defaults.
+	Probe probe.Config
+}
+
+func (c TrainingConfig) withDefaults() TrainingConfig {
+	if c.ConditionsPerPair <= 0 {
+		c.ConditionsPerPair = 100
+	}
+	if len(c.WmaxValues) == 0 {
+		c.WmaxValues = []int{512, 256, 128, 64}
+	}
+	if c.MSS <= 0 {
+		c.MSS = 536
+	}
+	if len(c.Algorithms) == 0 {
+		c.Algorithms = cc.CAAINames()
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// GatherPair gathers one environment A + B trace pair from server at a
+// fixed wmax and mss under cond, and returns the feature vector. The bool
+// reports whether environment A produced a valid trace.
+func GatherPair(server *websim.Server, cond netem.Condition, wmax, mss int, cfg probe.Config, rng *rand.Rand) (feature.Vector, bool) {
+	p := probe.New(cfg, cond, rng)
+	page := server.LongestPageBytes
+	if page <= 0 {
+		page = server.DefaultPageBytes
+	}
+	ta, err := p.GatherEnv(server, probe.EnvA(), wmax, mss, page)
+	if err != nil || !ta.Valid() {
+		return feature.Vector{}, false
+	}
+	tb, err := p.GatherEnv(server, probe.EnvB(), wmax, mss, page)
+	if err != nil {
+		return feature.Vector{}, false
+	}
+	if tb.TimedOut && !tb.Valid() {
+		return feature.Vector{}, false
+	}
+	return feature.Extract(ta, tb), true
+}
+
+// GenerateTrainingSet emulates the paper's testbed data collection: for
+// each (algorithm, wmax) pair it draws ConditionsPerPair network
+// conditions from db and gathers one feature vector each. Invalid
+// gatherings are retried with fresh conditions a few times.
+func GenerateTrainingSet(db *netem.Database, cfg TrainingConfig) (*forest.Dataset, error) {
+	cfg = cfg.withDefaults()
+	type job struct {
+		alg  string
+		wmax int
+		i    int
+	}
+	var jobs []job
+	for _, alg := range cfg.Algorithms {
+		for _, wmax := range cfg.WmaxValues {
+			for i := 0; i < cfg.ConditionsPerPair; i++ {
+				jobs = append(jobs, job{alg, wmax, i})
+			}
+		}
+	}
+	samples := make([]forest.Sample, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Parallelism)
+	for j, jb := range jobs {
+		wg.Add(1)
+		go func(j int, jb job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			seed := cfg.Seed + int64(j)*1_000_003
+			rng := rand.New(rand.NewSource(seed))
+			var vec feature.Vector
+			ok := false
+			for attempt := 0; attempt < 8 && !ok; attempt++ {
+				cond := db.Sample(rng)
+				server := websim.Testbed(jb.alg)
+				vec, ok = GatherPair(server, cond, jb.wmax, cfg.MSS, cfg.Probe, rng)
+			}
+			samples[j] = forest.Sample{
+				Features: vec.Slice(),
+				Label:    TrainingLabel(jb.alg, jb.wmax),
+			}
+		}(j, jb)
+	}
+	wg.Wait()
+	return forest.NewDataset(samples)
+}
+
+// Identification is the outcome of identifying one Web server.
+type Identification struct {
+	// Label is the identified algorithm label (a training label,
+	// LabelUnsure, or empty when the trace was invalid).
+	Label string
+	// Confidence is the random forest vote share.
+	Confidence float64
+	// Special is a non-None special trace shape, reported instead of a
+	// classification.
+	Special trace.Special
+	// Vector is the extracted feature vector (zero for special traces).
+	Vector feature.Vector
+	// Wmax and MSS record the ladder values used.
+	Wmax int
+	MSS  int
+	// Valid reports whether a valid trace pair was gathered.
+	Valid bool
+	// Reason explains invalid gatherings.
+	Reason probe.InvalidReason
+	// Elapsed is the simulated probing time.
+	Elapsed time.Duration
+}
+
+// String renders the identification outcome.
+func (id Identification) String() string {
+	switch {
+	case !id.Valid:
+		return fmt.Sprintf("invalid trace (%s)", id.Reason)
+	case id.Special != trace.SpecialNone:
+		return fmt.Sprintf("special trace: %s (wmax=%d)", id.Special, id.Wmax)
+	default:
+		return fmt.Sprintf("%s (confidence %.0f%%, wmax=%d, mss=%d)", id.Label, id.Confidence*100, id.Wmax, id.MSS)
+	}
+}
+
+// Identifier classifies Web servers from gathered traces using a trained
+// random forest. Safe for concurrent use.
+type Identifier struct {
+	forest *forest.Forest
+}
+
+// NewIdentifier wraps a trained forest.
+func NewIdentifier(f *forest.Forest) *Identifier { return &Identifier{forest: f} }
+
+// Forest exposes the underlying model.
+func (id *Identifier) Forest() *forest.Forest { return id.forest }
+
+// IdentifyResult classifies an already-gathered probe result.
+func (id *Identifier) IdentifyResult(res *probe.Result) Identification {
+	out := Identification{Wmax: res.Wmax, MSS: res.MSS, Reason: res.Reason}
+	if !res.Valid {
+		return out
+	}
+	out.Valid = true
+	if sp := trace.DetectSpecial(res.TraceA); sp != trace.SpecialNone {
+		out.Special = sp
+		return out
+	}
+	out.Vector = feature.Extract(res.TraceA, res.TraceB)
+	label, conf := id.forest.Classify(out.Vector.Slice())
+	out.Confidence = conf
+	if conf < UnsureThreshold {
+		out.Label = LabelUnsure
+		return out
+	}
+	out.Label = label
+	return out
+}
+
+// Identify gathers traces from server with a fresh prober under cond and
+// classifies them: the full CAAI pipeline for one server.
+func (id *Identifier) Identify(server *websim.Server, cond netem.Condition, cfg probe.Config, rng *rand.Rand) Identification {
+	p := probe.New(cfg, cond, rng)
+	res := p.Gather(server)
+	return id.IdentifyResult(res)
+}

@@ -1,0 +1,28 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/forest"
+	"repro/internal/netem"
+)
+
+// TestDebugCrossValidation trains a reduced training set and reports the
+// 10-fold cross validation accuracy; run with -v to inspect.
+func TestDebugCrossValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive")
+	}
+	db := netem.MeasuredDatabase()
+	ds, err := GenerateTrainingSet(db, TrainingConfig{ConditionsPerPair: 25, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("training set: %d samples, %d classes", ds.Len(), len(ds.Classes()))
+	m := forest.CrossValidate(ds, forest.Config{Trees: 80, Subspace: 4, Seed: 7}, 10, rand.New(rand.NewSource(9)))
+	t.Logf("overall accuracy: %.2f%%", m.Accuracy()*100)
+	for _, c := range m.Classes() {
+		t.Logf("%-12s %.2f%%", c, m.ClassAccuracy(c)*100)
+	}
+}

@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/feature"
+	"repro/internal/trace"
+)
+
+// quickCtx caches one reduced-scale context (training is the slow part).
+var quickCtx = NewQuickContext()
+
+func TestTableIListsAllAlgorithms(t *testing.T) {
+	out := TableI()
+	for _, name := range []string{"RENO", "BIC", "CTCP1", "CTCP2", "CUBIC1", "CUBIC2", "HSTCP", "HTCP", "ILLINOIS", "STCP", "VEGAS", "VENO", "WESTWOOD", "YEAH"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("Table I missing %s", name)
+		}
+	}
+	if !strings.Contains(out, "Windows") || !strings.Contains(out, "Linux") {
+		t.Error("Table I missing OS families")
+	}
+}
+
+func TestFig2Schedules(t *testing.T) {
+	out := Fig2()
+	if !strings.Contains(out, "env A") || !strings.Contains(out, "env B") {
+		t.Fatalf("Fig. 2 output incomplete:\n%s", out)
+	}
+	if !strings.Contains(out, "0.8s") {
+		t.Fatal("env B short RTT missing")
+	}
+}
+
+func TestFig3ExpectedBetas(t *testing.T) {
+	results, rendered, err := Fig3(quickCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 14 {
+		t.Fatalf("got %d algorithms", len(results))
+	}
+	if !strings.Contains(rendered, "Panel (o)") {
+		t.Fatal("panel (o) missing")
+	}
+	// The paper's headline feature values on the lossless testbed.
+	wantBetaA := map[string]float64{
+		"RENO":   0.5,
+		"CUBIC2": 0.70,
+		"CUBIC1": 0.80,
+		"STCP":   0.875,
+	}
+	for _, r := range results {
+		want, ok := wantBetaA[r.Algorithm]
+		if !ok {
+			continue
+		}
+		v := feature.Extract(r.TraceA, r.TraceB)
+		if diff := v[feature.BetaA] - want; diff > 0.03 || diff < -0.03 {
+			t.Errorf("%s betaA = %v, want ~%v", r.Algorithm, v[feature.BetaA], want)
+		}
+	}
+	// VEGAS: flag 0 (window below 64 in env B).
+	for _, r := range results {
+		if r.Algorithm != "VEGAS" {
+			continue
+		}
+		v := feature.Extract(r.TraceA, r.TraceB)
+		if v[feature.VegasFlag] != 0 {
+			t.Errorf("VEGAS flag = %v, want 0", v[feature.VegasFlag])
+		}
+	}
+}
+
+func TestCDFFigures(t *testing.T) {
+	for name, out := range map[string]string{
+		"Fig4":  Fig4(quickCtx),
+		"Fig10": Fig10(quickCtx),
+		"Fig11": Fig11(quickCtx),
+	} {
+		if !strings.Contains(out, "CDF") {
+			t.Errorf("%s missing CDF header:\n%s", name, out)
+		}
+	}
+}
+
+func TestFig6PopulationMatchesPaper(t *testing.T) {
+	out := Fig6(quickCtx)
+	if !strings.Contains(out, "accept only one request") {
+		t.Fatalf("Fig. 6 check missing:\n%s", out)
+	}
+}
+
+func TestFig7PopulationMatchesPaper(t *testing.T) {
+	out := Fig7(quickCtx)
+	if !strings.Contains(out, "longest pages >100kB") {
+		t.Fatalf("Fig. 7 check missing:\n%s", out)
+	}
+}
+
+func TestTableII(t *testing.T) {
+	out := TableII(quickCtx)
+	if !strings.Contains(out, "100 B") {
+		t.Fatalf("Table II missing rows:\n%s", out)
+	}
+}
+
+func TestTableIIIAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive")
+	}
+	res, err := TableIII(quickCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy < 0.80 {
+		t.Fatalf("cross-validation accuracy = %v, want >= 0.80 at reduced scale", res.Accuracy)
+	}
+	if !strings.Contains(res.String(), "Table III") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestFig12AccuracyRisesWithTrees(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive")
+	}
+	points, rendered, err := Fig12(quickCtx, []int{1, 40}, []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %v", points)
+	}
+	if points[1].Accuracy <= points[0].Accuracy {
+		t.Fatalf("K=40 accuracy %v not above K=1 %v", points[1].Accuracy, points[0].Accuracy)
+	}
+	if !strings.Contains(rendered, "K \\ F") {
+		t.Fatal("grid header missing")
+	}
+}
+
+func TestSpecialTracesDetected(t *testing.T) {
+	out, err := SpecialTraces(quickCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		trace.RemainingAtOne.String(),
+		trace.NonincreasingWindow.String(),
+		trace.BoundedWindow.String(),
+		trace.ApproachingWmax.String(),
+		"no timeout",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("special traces output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableIVQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive")
+	}
+	res, err := TableIV(quickCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.String()
+	if !strings.Contains(out, "Table IV") || !strings.Contains(out, "valid traces") {
+		t.Fatalf("Table IV render incomplete:\n%s", out)
+	}
+	if res.Report.Valid() == 0 {
+		t.Fatal("no valid traces in the census")
+	}
+}
+
+func TestClassifierComparisonForestWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive")
+	}
+	acc, rendered, err := ClassifierComparison(quickCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rendered, "RandomForest") {
+		t.Fatal("render incomplete")
+	}
+	rf := acc["RandomForest"]
+	for name, a := range acc {
+		if name == "RandomForest" {
+			continue
+		}
+		if a > rf+0.02 {
+			t.Errorf("%s (%.3f) beat random forest (%.3f)", name, a, rf)
+		}
+	}
+}
+
+func TestAblationsImprove(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive")
+	}
+	for _, tc := range []struct {
+		name string
+		run  func(*Context, int) (AblationResult, error)
+	}{
+		{"frto", AblationFRTO},
+		{"wait", AblationInterEnvWait},
+		{"pagesearch", AblationPageSearch},
+		{"envB", AblationEnvB},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := tc.run(quickCtx, 16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.With < res.Without {
+				t.Errorf("%s: with=%.2f < without=%.2f", res.Name, res.With, res.Without)
+			}
+		})
+	}
+}
+
+func TestAsciiChart(t *testing.T) {
+	out := AsciiChart("test", map[string][]int{"s": {1, 2, 4, 8}}, 8)
+	if !strings.Contains(out, "test") || !strings.Contains(out, "*") {
+		t.Fatalf("chart render:\n%s", out)
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	got := sortedKeys(map[string]int{"b": 1, "a": 2})
+	if got[0] != "a" || got[1] != "b" {
+		t.Fatalf("sortedKeys = %v", got)
+	}
+}

@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cc"
+	"repro/internal/census"
+	"repro/internal/netem"
+	"repro/internal/probe"
+	"repro/internal/trace"
+	"repro/internal/websim"
+)
+
+// Fig2 describes the two emulated environments' RTT schedules.
+func Fig2() string {
+	var b strings.Builder
+	b.WriteString("Fig. 2: emulated RTT schedules\n")
+	envs := []probe.Environment{probe.EnvA(), probe.EnvB()}
+	for _, env := range envs {
+		fmt.Fprintf(&b, "env %s pre-timeout : ", env.Name)
+		for r := 1; r <= 6; r++ {
+			fmt.Fprintf(&b, "%.1fs ", env.PreRTT(r).Seconds())
+		}
+		fmt.Fprintf(&b, "...\nenv %s post-timeout: ", env.Name)
+		for r := 1; r <= 14; r++ {
+			fmt.Fprintf(&b, "%.1fs ", env.PostRTT(r).Seconds())
+		}
+		b.WriteString("...\n")
+	}
+	return b.String()
+}
+
+// Fig3Result holds one algorithm's traces in both environments.
+type Fig3Result struct {
+	Algorithm string
+	TraceA    *trace.Trace
+	TraceB    *trace.Trace
+}
+
+// Fig3 regenerates the window traces of all 14 algorithms in environments
+// A and B on a lossless testbed with wmax=256 and mss=536 (panels a-n),
+// plus the RENO/CTCP comparison at wmax=64 (panel o).
+func Fig3(ctx *Context) ([]Fig3Result, string, error) {
+	var out []Fig3Result
+	var b strings.Builder
+	b.WriteString("Fig. 3: window traces, lossless testbed, wmax=256, mss=536\n\n")
+	for _, name := range cc.CAAINames() {
+		res := Fig3Result{Algorithm: name}
+		for _, env := range []probe.Environment{probe.EnvA(), probe.EnvB()} {
+			p := probe.New(probe.Config{}, netem.Lossless, ctx.rng(int64(len(out))+3))
+			tr, err := p.GatherEnv(websim.Testbed(name), env, 256, 536, 64<<20)
+			if err != nil {
+				return nil, "", err
+			}
+			if env.Name == "A" {
+				res.TraceA = tr
+			} else {
+				res.TraceB = tr
+			}
+		}
+		out = append(out, res)
+		fmt.Fprintf(&b, "%-9s A: %v\n", name, append(res.TraceA.Pre, res.TraceA.Post...))
+		fmt.Fprintf(&b, "%-9s B: %v\n", name, append(res.TraceB.Pre, res.TraceB.Post...))
+	}
+
+	// Panel (o): RENO vs CTCP1 vs CTCP2 at wmax=64 are nearly identical.
+	b.WriteString("\nPanel (o): RENO/CTCP1/CTCP2 at wmax=64 (env A)\n")
+	for _, name := range []string{"RENO", "CTCP1", "CTCP2"} {
+		p := probe.New(probe.Config{}, netem.Lossless, ctx.rng(977))
+		tr, err := p.GatherEnv(websim.Testbed(name), probe.EnvA(), 64, 536, 64<<20)
+		if err != nil {
+			return nil, "", err
+		}
+		fmt.Fprintf(&b, "%-9s: %v\n", name, append(tr.Pre, tr.Post...))
+	}
+	return out, b.String(), nil
+}
+
+// Fig4 renders the CDF of mean RTTs of the measured Web servers.
+func Fig4(ctx *Context) string {
+	return CDFTable("Fig. 4: CDF of Web server RTTs (5000 servers, ping)", "RTT (s)", ctx.DB.RTTCDF())
+}
+
+// Fig10 renders the CDF of RTT standard deviations.
+func Fig10(ctx *Context) string {
+	return CDFTable("Fig. 10: CDF of measured RTT standard deviations", "stddev (s)", ctx.DB.StdDevCDF())
+}
+
+// Fig11 renders the CDF of measured packet-loss rates.
+func Fig11(ctx *Context) string {
+	return CDFTable("Fig. 11: CDF of measured packet-loss rates", "loss rate", ctx.DB.LossCDF())
+}
+
+// Fig6 renders the CDF of maximum repeated HTTP requests, both the model
+// distribution and an empirical resample of the census population.
+func Fig6(ctx *Context) string {
+	var b strings.Builder
+	b.WriteString(CDFTable("Fig. 6: CDF of max repeated HTTP requests accepted", "requests", census.RequestLimitCDF()))
+	cfg := census.DefaultPopulationConfig()
+	cfg.Servers = ctx.CensusServers
+	pop := census.GeneratePopulation(cfg)
+	one, three := 0, 0
+	for _, gt := range pop {
+		if gt.Server.MaxRequests <= 1 {
+			one++
+		}
+		if gt.Server.MaxRequests <= 3 {
+			three++
+		}
+	}
+	fmt.Fprintf(&b, "population check: %s accept only one request (paper: ~47%%), %s accept <= 3 (paper: ~60%%)\n",
+		percent(one, len(pop)), percent(three, len(pop)))
+	return b.String()
+}
+
+// Fig7 renders the CDFs of default and longest page sizes.
+func Fig7(ctx *Context) string {
+	var b strings.Builder
+	b.WriteString(CDFTable("Fig. 7: CDF of default page sizes", "bytes", census.DefaultPageCDF()))
+	b.WriteString(CDFTable("Fig. 7: CDF of longest found page sizes", "bytes", census.LongestPageCDF()))
+	cfg := census.DefaultPopulationConfig()
+	cfg.Servers = ctx.CensusServers
+	pop := census.GeneratePopulation(cfg)
+	d100, l100 := 0, 0
+	for _, gt := range pop {
+		if gt.Server.DefaultPageBytes > 100<<10 {
+			d100++
+		}
+		if gt.Server.LongestPageBytes > 100<<10 {
+			l100++
+		}
+	}
+	fmt.Fprintf(&b, "population check: default pages >100kB: %s (paper: ~12%%); longest pages >100kB: %s (paper: ~48%%)\n",
+		percent(d100, len(pop)), percent(l100, len(pop)))
+	return b.String()
+}
+
+// SpecialTraces regenerates examples of the paper's invalid and special
+// traces (Figs. 13-18).
+func SpecialTraces(ctx *Context) (string, error) {
+	var b strings.Builder
+	rng := ctx.rng(555)
+	cases := []struct {
+		title  string
+		server *websim.Server
+	}{
+		{"Fig. 13 invalid, no timeout (window below wmax+1)", func() *websim.Server {
+			s := websim.Testbed("RENO")
+			s.SendBufferSegments = 40
+			return s
+		}()},
+		{"Fig. 14 Remaining at 1 Packet", func() *websim.Server {
+			s := websim.Testbed("RENO")
+			s.PostTimeoutClamp = 1
+			return s
+		}()},
+		{"Fig. 15 Nonincreasing Window", func() *websim.Server {
+			// A BIC stack whose in-flight data is pinned by a small
+			// send buffer: the post-timeout slow start runs straight
+			// into the buffer (ssthresh sits above it) and the
+			// window never grows again.
+			s := websim.Testbed("BIC")
+			s.SendBufferSegments = 70
+			return s
+		}()},
+		{"Fig. 16 Approaching Wmax", websim.Testbed("RENO")},
+		{"Fig. 17 Bounded Window", func() *websim.Server {
+			// A CUBIC stack with a window clamp above its slow start
+			// threshold: visible growth past w(l), then a ceiling.
+			s := websim.Testbed("CUBIC2")
+			s.CwndClamp = 100
+			return s
+		}()},
+	}
+	// Fig. 16 needs the approacher behaviour.
+	cases[3].server.CustomAlgorithm = census.NewApproacherAlgorithm
+
+	wantDetect := map[int]trace.Special{
+		1: trace.RemainingAtOne,
+		2: trace.NonincreasingWindow,
+		3: trace.ApproachingWmax,
+		4: trace.BoundedWindow,
+	}
+	for i, tc := range cases {
+		wmax := 64
+		p := probe.New(probe.Config{}, netem.Lossless, rng)
+		tr, err := p.GatherEnv(tc.server, probe.EnvA(), wmax, 536, 64<<20)
+		if err != nil {
+			return "", err
+		}
+		sp := trace.DetectSpecial(tr)
+		fmt.Fprintf(&b, "%s\n  trace: %s\n  detector: %s, valid=%v\n\n", tc.title, tr, sp, tr.Valid())
+		if want, ok := wantDetect[i]; ok && sp != want {
+			return "", fmt.Errorf("special trace %q detected as %s, want %s", tc.title, sp, want)
+		}
+	}
+	return b.String(), nil
+}
+
+// sortedKeys returns map keys sorted (small helper for deterministic
+// rendering).
+func sortedKeys[M ~map[string]int](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// AsciiChart renders one or more integer series as a fixed-size ASCII
+// chart (used for the Fig. 3 trace gallery and the special-trace figures).
+func AsciiChart(title string, series map[string][]int, height int) string {
+	if height <= 0 {
+		height = 12
+	}
+	maxLen, maxVal := 0, 1
+	for _, s := range series {
+		if len(s) > maxLen {
+			maxLen = len(s)
+		}
+		for _, v := range s {
+			if v > maxVal {
+				maxVal = v
+			}
+		}
+	}
+	names := make([]string, 0, len(series))
+	for n := range series {
+		names = append(names, n)
+	}
+	// Stable glyph assignment by insertion-sorted name order.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	glyphs := "*+ox#@%&"
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", maxLen))
+	}
+	for gi, n := range names {
+		g := glyphs[gi%len(glyphs)]
+		for x, v := range series[n] {
+			row := height - 1 - v*(height-1)/maxVal
+			grid[row][x] = g
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (y max %d packets, x = RTT rounds)\n", title, maxVal)
+	for gi, n := range names {
+		fmt.Fprintf(&b, "  %c = %s\n", glyphs[gi%len(glyphs)], n)
+	}
+	for r, row := range grid {
+		y := (height - 1 - r) * maxVal / (height - 1)
+		fmt.Fprintf(&b, "%6d |%s|\n", y, string(row))
+	}
+	return b.String()
+}
+
+// CDFTable renders an ECDF as a two-column table of (value, cumulative %).
+func CDFTable(title, unit string, e *stats.ECDF) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%14s %12s\n", title, unit, "CDF")
+	for _, a := range e.Points() {
+		fmt.Fprintf(&b, "%14.4f %11.1f%%\n", a.Value, a.Cum*100)
+	}
+	return b.String()
+}
+
+// percent formats a ratio as a percentage string.
+func percent(n, total int) string {
+	if total == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f%%", 100*float64(n)/float64(total))
+}

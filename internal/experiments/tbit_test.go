@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTimeoutVsLossEvent(t *testing.T) {
+	out, err := TimeoutVsLossEvent(quickCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "RENO") || !strings.Contains(out, "timeout") {
+		t.Fatalf("output incomplete:\n%s", out)
+	}
+}
+
+func TestTBITSurvey(t *testing.T) {
+	out, err := TBITSurvey(quickCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"NEWRENO", "RENO", "TAHOE", "iw10"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("survey missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDemographics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive")
+	}
+	out, err := Demographics(quickCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Europe", "Apache", "IIS servers identified"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("demographics missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Package feature implements CAAI step 2, feature extraction: from a valid
+// window trace it estimates the ACK loss rate (the paper's Eq. 1), locates
+// the boundary RTT where slow start ends, and derives the two TCP features
+// -- the multiplicative decrease parameter beta and the window growth
+// offsets G(3) and G(6) -- plus the VEGAS flag, forming the 7-element
+// feature vector of Section V.
+package feature
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// NumFeatures is the length of a feature vector.
+const NumFeatures = 8
+
+// Indices into a Vector.
+const (
+	BetaA = iota
+	G3A
+	G6A
+	BetaB
+	G3B
+	G6B
+	VegasFlag
+	WmaxLog2
+)
+
+// Vector is the feature vector of a Web server: the paper's seven elements
+// -- beta, G(3), G(6) for environments A and B, and the VEGAS flag (0 when
+// the window never reached 64 packets in environment B) -- plus log2 of
+// the wmax threshold the ladder settled on. The eighth element makes the
+// RC-small / RENO-big distinction learnable: the paper's seven elements
+// are wmax-invariant for RENO, so without the threshold (which CAAI always
+// knows) the two classes coincide in feature space (see DESIGN.md).
+type Vector [NumFeatures]float64
+
+// String renders the vector for logs.
+func (v Vector) String() string {
+	return fmt.Sprintf("[betaA=%.3f g3A=%.1f g6A=%.1f betaB=%.3f g3B=%.1f g6B=%.1f flag=%.0f wmax=2^%.0f]",
+		v[BetaA], v[G3A], v[G6A], v[BetaB], v[G3B], v[G6B], v[VegasFlag], v[WmaxLog2])
+}
+
+// Slice returns the vector as a float slice for classifiers.
+func (v Vector) Slice() []float64 { return v[:] }
+
+// ACK loss estimate clamps from Section V-A.
+const (
+	minAckLoss = 0.15
+	maxAckLoss = 0.60
+)
+
+// Beta clamps from Section V-B: values inside [minBeta, maxBeta] are kept,
+// values below the plausible range (only WESTWOOD+ produces them) map to 0.
+const (
+	minBeta = 0.5
+	maxBeta = 2.0
+	// betaFloor is the threshold below which a measured beta is treated
+	// as "window stayed far below w(tmo)" and reported as 0.
+	betaFloor = 0.45
+)
+
+// consecutiveFails is how many consecutive non-doubling RTTs confirm the
+// boundary.
+const consecutiveFails = 3
+
+// Extraction carries the per-environment features and diagnostics.
+type Extraction struct {
+	// Beta is the multiplicative decrease parameter w(l)/w(tmo), clamped
+	// per the paper; 0 when the boundary RTT was not found or the window
+	// stayed far below w(tmo).
+	Beta float64
+	// G3 and G6 are the growth offsets w(l+3)-w(l) and w(l+6)-w(l).
+	G3 float64
+	G6 float64
+	// BoundaryIdx is the boundary round's index into the nonzero
+	// post-timeout windows, or -1.
+	BoundaryIdx int
+	// AckLoss is the final Eq. 1 loss estimate used for the boundary.
+	AckLoss float64
+	// Found reports whether the boundary RTT search succeeded.
+	Found bool
+}
+
+// ExtractEnv extracts the features of one environment's trace.
+func ExtractEnv(t *trace.Trace) Extraction {
+	out := Extraction{BoundaryIdx: -1, AckLoss: minAckLoss}
+	if t == nil || !t.Valid() {
+		return out
+	}
+	q := t.PostNonzero()
+	wTmo := t.WTmo()
+	if len(q) < 2 || wTmo <= 0 {
+		return out
+	}
+
+	// Scan for the boundary RTT. Rounds that still double (given the
+	// running ACK-loss estimate) contribute loss samples p_r =
+	// (2*w_r - w_{r+1}) / w_r; the boundary is the first round opening a
+	// run of three consecutive non-doubling RTTs.
+	var samples []float64
+	boundary := -1
+	pHat := minAckLoss
+	for i := 1; i < len(q); i++ {
+		pHat = stats.Clamp(stats.MeanCI95(samples), minAckLoss, maxAckLoss)
+		if failsDoubling(q, i, pHat) {
+			run := 1
+			for j := i + 1; j < len(q) && run < consecutiveFails; j++ {
+				if !failsDoubling(q, j, pHat) {
+					break
+				}
+				run++
+			}
+			// Accept shorter runs only at the very end of the trace.
+			if run >= consecutiveFails || i+run >= len(q) {
+				boundary = i
+				break
+			}
+		}
+		if q[i-1] > 0 {
+			p := (2*float64(q[i-1]) - float64(q[i])) / float64(q[i-1])
+			samples = append(samples, stats.Clamp(p, 0, 1))
+		}
+	}
+	out.AckLoss = pHat
+	if boundary < 0 {
+		return out // pure doubling throughout: no boundary, beta = 0
+	}
+	out.Found = true
+	out.BoundaryIdx = boundary
+
+	wl := float64(q[boundary])
+	beta := wl / float64(wTmo)
+	switch {
+	case beta < betaFloor:
+		// The window stays far below w(tmo) (the WESTWOOD+ case of
+		// Fig. 3(m)): report 0.
+		out.Beta = 0
+	default:
+		out.Beta = stats.Clamp(beta, minBeta, maxBeta)
+	}
+	out.G3 = float64(q[min(boundary+3, len(q)-1)]) - wl
+	out.G6 = float64(q[min(boundary+6, len(q)-1)]) - wl
+	return out
+}
+
+// failsDoubling reports whether round i did NOT grow its window by one per
+// ACK relative to round i-1, under ACK loss estimate pHat.
+func failsDoubling(q []int, i int, pHat float64) bool {
+	return float64(q[i]) < 2*(1-pHat)*float64(q[i-1])
+}
+
+// vegasFlagThreshold: the flag is 0 when the environment B window never
+// reaches 64 packets.
+const vegasFlagThreshold = 64
+
+// Extract builds the full 7-element feature vector from the environment A
+// and B traces. TraceB may be a no-timeout trace (the VEGAS signature); its
+// features are then zero and the flag is 0.
+func Extract(ta, tb *trace.Trace) Vector {
+	var v Vector
+	a := ExtractEnv(ta)
+	v[BetaA], v[G3A], v[G6A] = a.Beta, a.G3, a.G6
+	if tb != nil && tb.Valid() && tb.MaxWindow() >= vegasFlagThreshold {
+		b := ExtractEnv(tb)
+		v[BetaB], v[G3B], v[G6B] = b.Beta, b.G3, b.G6
+		v[VegasFlag] = 1
+	}
+	if ta != nil && ta.WmaxThreshold > 0 {
+		v[WmaxLog2] = math.Log2(float64(ta.WmaxThreshold))
+	}
+	return v
+}

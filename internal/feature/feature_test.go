@@ -1,0 +1,191 @@
+package feature
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+)
+
+func mkTrace(wmax int, pre, post []int) *trace.Trace {
+	return &trace.Trace{
+		Env:           "A",
+		WmaxThreshold: wmax,
+		MSS:           536,
+		Pre:           pre,
+		Post:          post,
+		TimedOut:      true,
+	}
+}
+
+func renoTrace() *trace.Trace {
+	return mkTrace(256,
+		[]int{4, 8, 16, 32, 64, 128, 256, 512},
+		[]int{0, 2, 4, 8, 16, 32, 64, 128, 256, 256, 257, 258, 259, 260, 261, 262, 263, 264})
+}
+
+func TestExtractEnvReno(t *testing.T) {
+	e := ExtractEnv(renoTrace())
+	if !e.Found {
+		t.Fatal("boundary not found")
+	}
+	if math.Abs(e.Beta-0.5) > 1e-9 {
+		t.Fatalf("beta = %v, want 0.5", e.Beta)
+	}
+	if e.G3 != 3 || e.G6 != 6 {
+		t.Fatalf("G3/G6 = %v/%v, want 3/6", e.G3, e.G6)
+	}
+}
+
+func TestExtractEnvCubicLikeBeta(t *testing.T) {
+	// Boundary at 359 of 512: beta 0.70.
+	tr := mkTrace(256,
+		[]int{4, 8, 16, 32, 64, 128, 256, 512},
+		[]int{0, 2, 4, 8, 16, 32, 64, 128, 256, 359, 361, 366, 377, 397, 426, 469, 526, 601})
+	e := ExtractEnv(tr)
+	if math.Abs(e.Beta-359.0/512) > 1e-9 {
+		t.Fatalf("beta = %v, want %v", e.Beta, 359.0/512)
+	}
+	if e.G3 != 377-359 || e.G6 != 469-359 {
+		t.Fatalf("G3/G6 = %v/%v", e.G3, e.G6)
+	}
+}
+
+func TestExtractEnvWestwoodBetaZero(t *testing.T) {
+	// Window stays far below w(tmo): the beta-floor rule reports 0.
+	tr := mkTrace(256,
+		[]int{4, 8, 16, 32, 64, 128, 256, 512},
+		[]int{0, 2, 4, 7, 8, 9, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20})
+	e := ExtractEnv(tr)
+	if e.Beta != 0 {
+		t.Fatalf("beta = %v, want 0 (below the plausible floor)", e.Beta)
+	}
+	if !e.Found {
+		t.Fatal("boundary should still be located for G features")
+	}
+}
+
+func TestExtractEnvNoBoundary(t *testing.T) {
+	// Pure doubling throughout: no boundary, beta 0, G zero.
+	tr := mkTrace(256,
+		[]int{4, 8, 16, 32, 64, 128, 256, 512},
+		[]int{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536})
+	e := ExtractEnv(tr)
+	if e.Found || e.Beta != 0 || e.G3 != 0 || e.G6 != 0 {
+		t.Fatalf("expected no boundary, got %+v", e)
+	}
+}
+
+func TestExtractEnvInvalidTrace(t *testing.T) {
+	tr := renoTrace()
+	tr.TimedOut = false
+	e := ExtractEnv(tr)
+	if e.Found || e.Beta != 0 {
+		t.Fatalf("invalid trace extracted: %+v", e)
+	}
+}
+
+func TestAckLossEstimateRaisesThreshold(t *testing.T) {
+	// ~30% ACK loss: slow start multiplies by ~1.7 per round; the Eq. 1
+	// estimate must keep treating those rounds as doubling.
+	tr := mkTrace(256,
+		[]int{4, 8, 16, 32, 64, 128, 256, 512},
+		[]int{0, 2, 3, 5, 9, 15, 26, 44, 75, 128, 218, 260, 261, 262, 263, 264, 265, 266})
+	e := ExtractEnv(tr)
+	if !e.Found {
+		t.Fatal("boundary not found under ACK loss")
+	}
+	if e.AckLoss <= 0.15 {
+		t.Fatalf("AckLoss = %v, want above the floor", e.AckLoss)
+	}
+	// Boundary belongs near 260, not in the middle of lossy slow start.
+	if e.Beta < 0.4 {
+		t.Fatalf("beta = %v; boundary landed inside slow start", e.Beta)
+	}
+}
+
+func TestBetaClamps(t *testing.T) {
+	// Boundary window above w(tmo) (threshold caching artifacts): beta
+	// clamps at 2.0.
+	tr := mkTrace(64,
+		[]int{4, 8, 16, 32, 64, 130},
+		[]int{0, 2, 4, 8, 16, 32, 64, 128, 256, 300, 301, 302, 303, 304, 305, 306, 307, 308})
+	e := ExtractEnv(tr)
+	if e.Beta != 2.0 {
+		t.Fatalf("beta = %v, want clamped 2.0", e.Beta)
+	}
+}
+
+func TestVectorFlagVegas(t *testing.T) {
+	ta := renoTrace()
+	// Environment B never reached 64 packets: no timeout, low windows.
+	tb := &trace.Trace{Env: "B", WmaxThreshold: 256, Pre: []int{4, 8, 16, 32, 51, 51}}
+	v := Extract(ta, tb)
+	if v[VegasFlag] != 0 {
+		t.Fatalf("flag = %v, want 0", v[VegasFlag])
+	}
+	if v[BetaB] != 0 || v[G3B] != 0 || v[G6B] != 0 {
+		t.Fatalf("B features = %v, want zero", v)
+	}
+	if v[BetaA] != 0.5 {
+		t.Fatalf("A beta = %v", v[BetaA])
+	}
+}
+
+func TestVectorFlagSetWithValidB(t *testing.T) {
+	v := Extract(renoTrace(), renoTrace())
+	if v[VegasFlag] != 1 {
+		t.Fatalf("flag = %v, want 1", v[VegasFlag])
+	}
+	if v[BetaB] != 0.5 {
+		t.Fatalf("B beta = %v", v[BetaB])
+	}
+}
+
+func TestVectorWmaxFeature(t *testing.T) {
+	v := Extract(renoTrace(), nil)
+	if v[WmaxLog2] != 8 {
+		t.Fatalf("wmax feature = %v, want log2(256) = 8", v[WmaxLog2])
+	}
+}
+
+func TestVectorString(t *testing.T) {
+	v := Extract(renoTrace(), renoTrace())
+	if s := v.String(); s == "" {
+		t.Fatal("empty render")
+	}
+	if got := v.Slice(); len(got) != NumFeatures {
+		t.Fatalf("Slice length = %d", len(got))
+	}
+}
+
+// TestBetaRangeProperty: for arbitrary random traces, beta is always 0 or
+// within [0.5, 2.0] -- the paper's clamping contract.
+func TestBetaRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		post := make([]int, 18)
+		w := 1
+		for i := range post {
+			w += rng.Intn(w + 2)
+			post[i] = w
+		}
+		tr := mkTrace(64, []int{4, 8, 16, 32, 64, 80 + rng.Intn(100)}, post)
+		e := ExtractEnv(tr)
+		return e.Beta == 0 || (e.Beta >= 0.5 && e.Beta <= 2.0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExtractionDeterministic: same trace, same features.
+func TestExtractionDeterministic(t *testing.T) {
+	a := Extract(renoTrace(), renoTrace())
+	b := Extract(renoTrace(), renoTrace())
+	if a != b {
+		t.Fatalf("nondeterministic extraction: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,162 @@
+package forest
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// ConfusionMatrix accumulates per-class classification outcomes (the
+// paper's Table III).
+type ConfusionMatrix struct {
+	classes []string
+	index   map[string]int
+	// counts[actual][predicted]
+	counts [][]int
+}
+
+// NewConfusionMatrix creates a matrix over the given classes.
+func NewConfusionMatrix(classes []string) *ConfusionMatrix {
+	index := make(map[string]int, len(classes))
+	cs := make([]string, len(classes))
+	copy(cs, classes)
+	counts := make([][]int, len(classes))
+	for i, c := range cs {
+		index[c] = i
+		counts[i] = make([]int, len(classes))
+	}
+	return &ConfusionMatrix{classes: cs, index: index, counts: counts}
+}
+
+// Add records one classification outcome. Unknown labels are ignored.
+func (m *ConfusionMatrix) Add(actual, predicted string) {
+	a, okA := m.index[actual]
+	p, okP := m.index[predicted]
+	if !okA || !okP {
+		return
+	}
+	m.counts[a][p]++
+}
+
+// Accuracy returns the overall fraction of correct classifications.
+func (m *ConfusionMatrix) Accuracy() float64 {
+	correct, total := 0, 0
+	for a, row := range m.counts {
+		for p, n := range row {
+			total += n
+			if a == p {
+				correct += n
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// ClassAccuracy returns the per-class recall (the diagonal of Table III).
+func (m *ConfusionMatrix) ClassAccuracy(class string) float64 {
+	a, ok := m.index[class]
+	if !ok {
+		return 0
+	}
+	total := 0
+	for _, n := range m.counts[a] {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(m.counts[a][a]) / float64(total)
+}
+
+// Classes returns the class labels in matrix order.
+func (m *ConfusionMatrix) Classes() []string {
+	out := make([]string, len(m.classes))
+	copy(out, m.classes)
+	return out
+}
+
+// Count returns counts[actual][predicted] by label.
+func (m *ConfusionMatrix) Count(actual, predicted string) int {
+	a, okA := m.index[actual]
+	p, okP := m.index[predicted]
+	if !okA || !okP {
+		return 0
+	}
+	return m.counts[a][p]
+}
+
+// String renders the matrix as a percentage table like Table III.
+func (m *ConfusionMatrix) String() string {
+	var b strings.Builder
+	short := make([]string, len(m.classes))
+	for i, c := range m.classes {
+		if len(c) > 8 {
+			c = c[:8]
+		}
+		short[i] = c
+	}
+	fmt.Fprintf(&b, "%-10s", "")
+	for _, c := range short {
+		fmt.Fprintf(&b, "%9s", c)
+	}
+	b.WriteByte('\n')
+	for a, row := range m.counts {
+		total := 0
+		for _, n := range row {
+			total += n
+		}
+		fmt.Fprintf(&b, "%-10s", short[a])
+		for _, n := range row {
+			if total == 0 {
+				fmt.Fprintf(&b, "%9s", "-")
+				continue
+			}
+			fmt.Fprintf(&b, "%8.2f%%", 100*float64(n)/float64(total))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CrossValidate runs k-fold cross validation of a random forest with cfg
+// on ds (the paper's 10-fold protocol: random even split, each fold
+// validated once) and returns the pooled confusion matrix.
+func CrossValidate(ds *Dataset, cfg Config, folds int, rng *rand.Rand) *ConfusionMatrix {
+	if folds < 2 {
+		folds = 2
+	}
+	n := ds.Len()
+	perm := rng.Perm(n)
+	matrix := NewConfusionMatrix(ds.Classes())
+	for f := 0; f < folds; f++ {
+		var trainIdx, testIdx []int
+		for i, j := range perm {
+			if i%folds == f {
+				testIdx = append(testIdx, j)
+			} else {
+				trainIdx = append(trainIdx, j)
+			}
+		}
+		foldCfg := cfg
+		foldCfg.Seed = cfg.Seed + int64(f)*104729
+		model := Train(ds.Subset(trainIdx), foldCfg)
+		for _, j := range testIdx {
+			s := ds.Samples()[j]
+			got, _ := model.Classify(s.Features)
+			matrix.Add(s.Label, got)
+		}
+	}
+	return matrix
+}
+
+// sortedCopy is a small helper used by tests.
+func sortedCopy(xs []string) []string {
+	out := make([]string, len(xs))
+	copy(out, xs)
+	sort.Strings(out)
+	return out
+}

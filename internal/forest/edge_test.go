@@ -1,0 +1,69 @@
+package forest
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSubspaceLargerThanDims(t *testing.T) {
+	ds := clusterDataset(t, 20, 31)
+	// Subspace 10 > 3 dims must clamp, not panic.
+	f := Train(ds, Config{Trees: 5, Subspace: 10, Seed: 32})
+	if label, _ := f.Classify([]float64{0, 0, 0}); label != "a" {
+		t.Fatalf("got %s", label)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Trees != 80 || cfg.Subspace != 4 || cfg.MinLeaf != 1 {
+		t.Fatalf("paper defaults wrong: %+v", cfg)
+	}
+}
+
+func TestForestClassesCopied(t *testing.T) {
+	ds := clusterDataset(t, 10, 33)
+	f := Train(ds, Config{Trees: 3, Subspace: 2, Seed: 34})
+	cs := f.Classes()
+	cs[0] = "mutated"
+	if f.Classes()[0] == "mutated" {
+		t.Fatal("Classes leaked internal state")
+	}
+}
+
+func TestCrossValidateFoldFloor(t *testing.T) {
+	ds := clusterDataset(t, 10, 35)
+	// folds < 2 clamps to 2 rather than degenerating.
+	m := CrossValidate(ds, Config{Trees: 3, Subspace: 2, Seed: 36}, 1, rand.New(rand.NewSource(37)))
+	total := 0
+	for _, a := range m.Classes() {
+		for _, p := range m.Classes() {
+			total += m.Count(a, p)
+		}
+	}
+	if total != ds.Len() {
+		t.Fatalf("validated %d, want %d", total, ds.Len())
+	}
+}
+
+func TestMinLeafStopsSplitting(t *testing.T) {
+	ds := clusterDataset(t, 30, 38)
+	// A huge MinLeaf forces root-level majority leaves.
+	f := Train(ds, Config{Trees: 3, Subspace: 2, MinLeaf: 1000, Seed: 39})
+	votes := f.Votes([]float64{0, 0, 0})
+	sum := 0
+	for _, v := range votes {
+		sum += v
+	}
+	if sum != 3 {
+		t.Fatalf("votes = %v", votes)
+	}
+}
+
+func TestSortedCopyHelper(t *testing.T) {
+	in := []string{"b", "a"}
+	out := sortedCopy(in)
+	if out[0] != "a" || in[0] != "b" {
+		t.Fatal("sortedCopy must not mutate input")
+	}
+}

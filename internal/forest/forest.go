@@ -1,0 +1,188 @@
+package forest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Sample is one labeled feature vector.
+type Sample struct {
+	Features []float64
+	Label    string
+}
+
+// Dataset is a set of labeled samples with a stable class index.
+type Dataset struct {
+	samples []Sample
+	classes []string
+	index   map[string]int
+}
+
+// ErrEmptyDataset reports training on no data.
+var ErrEmptyDataset = errors.New("forest: empty dataset")
+
+// NewDataset builds a dataset from samples (copied shallowly; callers must
+// not mutate the feature slices afterwards).
+func NewDataset(samples []Sample) (*Dataset, error) {
+	if len(samples) == 0 {
+		return nil, ErrEmptyDataset
+	}
+	dims := len(samples[0].Features)
+	set := map[string]bool{}
+	for _, s := range samples {
+		if len(s.Features) != dims {
+			return nil, fmt.Errorf("forest: inconsistent feature count: %d vs %d", len(s.Features), dims)
+		}
+		set[s.Label] = true
+	}
+	classes := make([]string, 0, len(set))
+	for c := range set {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	index := make(map[string]int, len(classes))
+	for i, c := range classes {
+		index[c] = i
+	}
+	ds := &Dataset{samples: samples, classes: classes, index: index}
+	return ds, nil
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.samples) }
+
+// Classes returns the sorted class labels.
+func (d *Dataset) Classes() []string {
+	out := make([]string, len(d.classes))
+	copy(out, d.classes)
+	return out
+}
+
+// Samples returns the underlying samples (read-only by convention).
+func (d *Dataset) Samples() []Sample { return d.samples }
+
+// Subset returns a dataset view containing the given sample indices but
+// sharing the full class index (so confusion matrices stay aligned).
+func (d *Dataset) Subset(idx []int) *Dataset {
+	sub := make([]Sample, len(idx))
+	for i, j := range idx {
+		sub[i] = d.samples[j]
+	}
+	return &Dataset{samples: sub, classes: d.classes, index: d.index}
+}
+
+// Config holds the two random forest parameters the paper tunes in
+// Fig. 12: K (number of trees) and F (random subspace size), plus the
+// training seed.
+type Config struct {
+	// Trees is the paper's K; CAAI uses 80.
+	Trees int
+	// Subspace is the paper's F, the features considered per split;
+	// CAAI uses 4 (Weka's default log2(7)+1 rounds to the same choice).
+	Subspace int
+	// MinLeaf stops splitting below this many samples (1 = grow fully,
+	// no pruning, as the paper specifies).
+	MinLeaf int
+	// Seed makes training deterministic.
+	Seed int64
+	// Parallelism bounds concurrent tree construction; 0 means
+	// GOMAXPROCS.
+	Parallelism int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Trees <= 0 {
+		c.Trees = 80
+	}
+	if c.Subspace <= 0 {
+		c.Subspace = 4
+	}
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 1
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Forest is a trained random forest. Safe for concurrent classification.
+type Forest struct {
+	trees   []*tree
+	classes []string
+}
+
+// Train grows cfg.Trees trees on bootstrap samples of ds, each split drawn
+// from a random subspace of cfg.Subspace features. Tree construction runs
+// in parallel but is deterministic for a fixed seed.
+func Train(ds *Dataset, cfg Config) *Forest {
+	cfg = cfg.withDefaults()
+	n := ds.Len()
+	features := make([][]float64, n)
+	labels := make([]int, n)
+	for i, s := range ds.samples {
+		features[i] = s.Features
+		labels[i] = ds.index[s.Label]
+	}
+
+	trees := make([]*tree, cfg.Trees)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Parallelism)
+	for t := 0; t < cfg.Trees; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(t)*7919))
+			idx := make([]int, n)
+			for i := range idx {
+				idx[i] = rng.Intn(n) // bootstrap: sample with replacement
+			}
+			b := &treeBuilder{
+				features: features,
+				labels:   labels,
+				classes:  len(ds.classes),
+				subspace: cfg.Subspace,
+				minLeaf:  cfg.MinLeaf,
+				rng:      rng,
+			}
+			trees[t] = b.build(idx)
+		}(t)
+	}
+	wg.Wait()
+	return &Forest{trees: trees, classes: ds.classes}
+}
+
+// Classes returns the class labels the forest can emit.
+func (f *Forest) Classes() []string {
+	out := make([]string, len(f.classes))
+	copy(out, f.classes)
+	return out
+}
+
+// Classify returns the majority-vote label and its confidence (the
+// fraction of trees voting for it).
+func (f *Forest) Classify(features []float64) (string, float64) {
+	votes := f.Votes(features)
+	best, bestN := 0, -1
+	for c, n := range votes {
+		if n > bestN {
+			best, bestN = c, n
+		}
+	}
+	return f.classes[best], float64(bestN) / float64(len(f.trees))
+}
+
+// Votes returns the per-class vote counts, indexed like Classes().
+func (f *Forest) Votes(features []float64) []int {
+	votes := make([]int, len(f.classes))
+	for _, t := range f.trees {
+		votes[t.classify(features)]++
+	}
+	return votes
+}

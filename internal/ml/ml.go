@@ -1,0 +1,263 @@
+// Package ml provides the comparison classifiers the paper evaluated in
+// Weka before settling on random forest: k-nearest-neighbour, Gaussian
+// naive Bayes, and a single unpruned decision tree. They share the
+// Classifier interface with the random forest so the classifier-comparison
+// experiment can sweep them uniformly.
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/forest"
+)
+
+// Classifier is the common classification interface.
+type Classifier interface {
+	// Name identifies the classifier in reports.
+	Name() string
+	// Classify returns the predicted label and a confidence in [0, 1].
+	Classify(features []float64) (string, float64)
+}
+
+// ForestClassifier adapts forest.Forest to Classifier.
+type ForestClassifier struct {
+	*forest.Forest
+}
+
+// Name implements Classifier.
+func (ForestClassifier) Name() string { return "RandomForest" }
+
+var _ Classifier = ForestClassifier{}
+
+// KNN is a k-nearest-neighbour classifier with per-dimension min-max
+// normalization.
+type KNN struct {
+	k        int
+	lo, hi   []float64
+	features [][]float64
+	labels   []string
+}
+
+var _ Classifier = (*KNN)(nil)
+
+// NewKNN trains (memorizes) a k-NN classifier on ds.
+func NewKNN(ds *forest.Dataset, k int) *KNN {
+	if k <= 0 {
+		k = 5
+	}
+	samples := ds.Samples()
+	dims := len(samples[0].Features)
+	lo := make([]float64, dims)
+	hi := make([]float64, dims)
+	for d := 0; d < dims; d++ {
+		lo[d] = math.Inf(1)
+		hi[d] = math.Inf(-1)
+	}
+	feats := make([][]float64, len(samples))
+	labels := make([]string, len(samples))
+	for i, s := range samples {
+		feats[i] = s.Features
+		labels[i] = s.Label
+		for d, v := range s.Features {
+			lo[d] = math.Min(lo[d], v)
+			hi[d] = math.Max(hi[d], v)
+		}
+	}
+	return &KNN{k: k, lo: lo, hi: hi, features: feats, labels: labels}
+}
+
+// Name implements Classifier.
+func (*KNN) Name() string { return "kNN" }
+
+// normalize maps v into [0, 1] per dimension.
+func (c *KNN) normalize(v []float64) []float64 {
+	out := make([]float64, len(v))
+	for d := range v {
+		span := c.hi[d] - c.lo[d]
+		if span <= 0 {
+			continue
+		}
+		out[d] = (v[d] - c.lo[d]) / span
+	}
+	return out
+}
+
+// Classify implements Classifier via majority vote among the k nearest
+// training samples.
+func (c *KNN) Classify(features []float64) (string, float64) {
+	q := c.normalize(features)
+	type cand struct {
+		dist  float64
+		label string
+	}
+	cands := make([]cand, len(c.features))
+	for i, f := range c.features {
+		nf := c.normalize(f)
+		sum := 0.0
+		for d := range q {
+			diff := q[d] - nf[d]
+			sum += diff * diff
+		}
+		cands[i] = cand{dist: sum, label: c.labels[i]}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].dist < cands[b].dist })
+	k := c.k
+	if k > len(cands) {
+		k = len(cands)
+	}
+	votes := map[string]int{}
+	for _, cd := range cands[:k] {
+		votes[cd.label]++
+	}
+	best, bestN := "", -1
+	for l, n := range votes {
+		if n > bestN || (n == bestN && l < best) {
+			best, bestN = l, n
+		}
+	}
+	return best, float64(bestN) / float64(k)
+}
+
+// NaiveBayes is a Gaussian naive Bayes classifier.
+type NaiveBayes struct {
+	classes []string
+	priors  []float64
+	mean    [][]float64
+	varr    [][]float64
+}
+
+var _ Classifier = (*NaiveBayes)(nil)
+
+// NewNaiveBayes fits per-class Gaussian feature models on ds.
+func NewNaiveBayes(ds *forest.Dataset) *NaiveBayes {
+	classes := ds.Classes()
+	index := make(map[string]int, len(classes))
+	for i, c := range classes {
+		index[c] = i
+	}
+	samples := ds.Samples()
+	dims := len(samples[0].Features)
+	counts := make([]float64, len(classes))
+	mean := make2d(len(classes), dims)
+	varr := make2d(len(classes), dims)
+	for _, s := range samples {
+		c := index[s.Label]
+		counts[c]++
+		for d, v := range s.Features {
+			mean[c][d] += v
+		}
+	}
+	for c := range classes {
+		if counts[c] == 0 {
+			continue
+		}
+		for d := 0; d < dims; d++ {
+			mean[c][d] /= counts[c]
+		}
+	}
+	for _, s := range samples {
+		c := index[s.Label]
+		for d, v := range s.Features {
+			diff := v - mean[c][d]
+			varr[c][d] += diff * diff
+		}
+	}
+	priors := make([]float64, len(classes))
+	total := float64(len(samples))
+	for c := range classes {
+		priors[c] = counts[c] / total
+		for d := 0; d < dims; d++ {
+			if counts[c] > 1 {
+				varr[c][d] /= counts[c] - 1
+			}
+			// Variance floor keeps degenerate features usable.
+			if varr[c][d] < 1e-6 {
+				varr[c][d] = 1e-6
+			}
+		}
+	}
+	return &NaiveBayes{classes: classes, priors: priors, mean: mean, varr: varr}
+}
+
+func make2d(rows, cols int) [][]float64 {
+	backing := make([]float64, rows*cols)
+	out := make([][]float64, rows)
+	for i := range out {
+		out[i], backing = backing[:cols:cols], backing[cols:]
+	}
+	return out
+}
+
+// Name implements Classifier.
+func (*NaiveBayes) Name() string { return "NaiveBayes" }
+
+// Classify implements Classifier by maximum posterior log-likelihood.
+func (nb *NaiveBayes) Classify(features []float64) (string, float64) {
+	logs := make([]float64, len(nb.classes))
+	for c := range nb.classes {
+		ll := math.Log(nb.priors[c] + 1e-12)
+		for d, v := range features {
+			m, s2 := nb.mean[c][d], nb.varr[c][d]
+			ll += -0.5*math.Log(2*math.Pi*s2) - (v-m)*(v-m)/(2*s2)
+		}
+		logs[c] = ll
+	}
+	best := 0
+	for c := range logs {
+		if logs[c] > logs[best] {
+			best = c
+		}
+	}
+	// Softmax over log-likelihoods for a rough confidence.
+	var sum float64
+	for c := range logs {
+		sum += math.Exp(logs[c] - logs[best])
+	}
+	return nb.classes[best], 1 / sum
+}
+
+// SingleTree is one unpruned CART tree (random forest with K=1 and the
+// full feature set at each split).
+type SingleTree struct {
+	f *forest.Forest
+}
+
+var _ Classifier = (*SingleTree)(nil)
+
+// NewSingleTree trains a single decision tree on ds.
+func NewSingleTree(ds *forest.Dataset, seed int64) *SingleTree {
+	cfg := forest.Config{Trees: 1, Subspace: len(ds.Samples()[0].Features), Seed: seed}
+	return &SingleTree{f: forest.Train(ds, cfg)}
+}
+
+// Name implements Classifier.
+func (*SingleTree) Name() string { return "DecisionTree" }
+
+// Classify implements Classifier.
+func (t *SingleTree) Classify(features []float64) (string, float64) {
+	return t.f.Classify(features)
+}
+
+// Evaluate computes the accuracy of classifier c on a held-out dataset.
+func Evaluate(c Classifier, ds *forest.Dataset) float64 {
+	correct := 0
+	for _, s := range ds.Samples() {
+		if got, _ := c.Classify(s.Features); got == s.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len())
+}
+
+// Split partitions ds into train/test with the given test fraction.
+func Split(ds *forest.Dataset, testFrac float64, rng *rand.Rand) (train, test *forest.Dataset) {
+	n := ds.Len()
+	perm := rng.Perm(n)
+	cut := int(float64(n) * testFrac)
+	if cut < 1 {
+		cut = 1
+	}
+	return ds.Subset(perm[cut:]), ds.Subset(perm[:cut])
+}

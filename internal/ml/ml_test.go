@@ -1,0 +1,177 @@
+package ml
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/forest"
+)
+
+func clusterDataset(t *testing.T, n int, seed int64) *forest.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	centers := map[string][]float64{
+		"low":  {0, 0},
+		"high": {8, 8},
+	}
+	var samples []forest.Sample
+	for label, c := range centers {
+		for i := 0; i < n; i++ {
+			samples = append(samples, forest.Sample{
+				Features: []float64{c[0] + rng.NormFloat64(), c[1] + rng.NormFloat64()},
+				Label:    label,
+			})
+		}
+	}
+	ds, err := forest.NewDataset(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestKNNSeparatesClusters(t *testing.T) {
+	ds := clusterDataset(t, 40, 1)
+	knn := NewKNN(ds, 5)
+	if got, conf := knn.Classify([]float64{0.5, -0.5}); got != "low" || conf <= 0 {
+		t.Fatalf("got %s/%v", got, conf)
+	}
+	if got, _ := knn.Classify([]float64{8.2, 7.9}); got != "high" {
+		t.Fatalf("got %s", got)
+	}
+	if knn.Name() != "kNN" {
+		t.Fatal("name")
+	}
+}
+
+func TestKNNDefaultK(t *testing.T) {
+	ds := clusterDataset(t, 10, 2)
+	knn := NewKNN(ds, 0)
+	if knn.k != 5 {
+		t.Fatalf("default k = %d, want 5", knn.k)
+	}
+}
+
+func TestNaiveBayesSeparatesClusters(t *testing.T) {
+	ds := clusterDataset(t, 40, 3)
+	nb := NewNaiveBayes(ds)
+	if got, conf := nb.Classify([]float64{-0.2, 0.4}); got != "low" || conf <= 0 || conf > 1 {
+		t.Fatalf("got %s/%v", got, conf)
+	}
+	if got, _ := nb.Classify([]float64{7.7, 8.4}); got != "high" {
+		t.Fatalf("got %s", got)
+	}
+	if nb.Name() != "NaiveBayes" {
+		t.Fatal("name")
+	}
+}
+
+func TestSingleTreeSeparatesClusters(t *testing.T) {
+	ds := clusterDataset(t, 40, 4)
+	tree := NewSingleTree(ds, 5)
+	if got, _ := tree.Classify([]float64{0, 0}); got != "low" {
+		t.Fatalf("got %s", got)
+	}
+	if tree.Name() != "DecisionTree" {
+		t.Fatal("name")
+	}
+}
+
+func TestForestClassifierAdapter(t *testing.T) {
+	ds := clusterDataset(t, 30, 6)
+	fc := ForestClassifier{Forest: forest.Train(ds, forest.Config{Trees: 10, Subspace: 2, Seed: 7})}
+	if got, _ := fc.Classify([]float64{8, 8}); got != "high" {
+		t.Fatalf("got %s", got)
+	}
+	if fc.Name() != "RandomForest" {
+		t.Fatal("name")
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	ds := clusterDataset(t, 50, 8)
+	knn := NewKNN(ds, 3)
+	if acc := Evaluate(knn, ds); acc < 0.95 {
+		t.Fatalf("training accuracy = %v", acc)
+	}
+}
+
+func TestSplitFractions(t *testing.T) {
+	ds := clusterDataset(t, 50, 9)
+	train, test := Split(ds, 0.3, rand.New(rand.NewSource(10)))
+	if train.Len()+test.Len() != ds.Len() {
+		t.Fatalf("split sizes %d+%d != %d", train.Len(), test.Len(), ds.Len())
+	}
+	want := int(float64(ds.Len()) * 0.3)
+	if test.Len() != want {
+		t.Fatalf("test len = %d, want %d", test.Len(), want)
+	}
+}
+
+func TestAllClassifiersBeatChanceOnHeldOut(t *testing.T) {
+	ds := clusterDataset(t, 60, 11)
+	train, test := Split(ds, 0.25, rand.New(rand.NewSource(12)))
+	classifiers := []Classifier{
+		ForestClassifier{Forest: forest.Train(train, forest.Config{Trees: 20, Subspace: 2, Seed: 13})},
+		NewKNN(train, 5),
+		NewNaiveBayes(train),
+		NewSingleTree(train, 14),
+	}
+	for _, c := range classifiers {
+		if acc := Evaluate(c, test); acc < 0.9 {
+			t.Errorf("%s held-out accuracy = %v, want >= 0.9", c.Name(), acc)
+		}
+	}
+}
+
+func TestMLPSeparatesClusters(t *testing.T) {
+	ds := clusterDataset(t, 60, 20)
+	mlp := NewMLP(ds, MLPConfig{Seed: 21})
+	if got, conf := mlp.Classify([]float64{0.3, -0.1}); got != "low" || conf <= 0 || conf > 1 {
+		t.Fatalf("got %s/%v", got, conf)
+	}
+	if got, _ := mlp.Classify([]float64{7.8, 8.1}); got != "high" {
+		t.Fatalf("got %s", got)
+	}
+	if mlp.Name() != "NeuralNet" {
+		t.Fatal("name")
+	}
+}
+
+func TestMLPDeterministic(t *testing.T) {
+	ds := clusterDataset(t, 30, 22)
+	a := NewMLP(ds, MLPConfig{Seed: 5})
+	b := NewMLP(ds, MLPConfig{Seed: 5})
+	la, ca := a.Classify([]float64{4, 4})
+	lb, cb := b.Classify([]float64{4, 4})
+	if la != lb || ca != cb {
+		t.Fatal("MLP training not deterministic")
+	}
+}
+
+func TestLinearSVMSeparatesClusters(t *testing.T) {
+	ds := clusterDataset(t, 60, 23)
+	svm := NewLinearSVM(ds, SVMConfig{Seed: 24})
+	if got, conf := svm.Classify([]float64{-0.4, 0.2}); got != "low" || conf <= 0 || conf > 1 {
+		t.Fatalf("got %s/%v", got, conf)
+	}
+	if got, _ := svm.Classify([]float64{8.3, 7.6}); got != "high" {
+		t.Fatalf("got %s", got)
+	}
+	if svm.Name() != "LinearSVM" {
+		t.Fatal("name")
+	}
+}
+
+func TestMLPAndSVMHeldOutAccuracy(t *testing.T) {
+	ds := clusterDataset(t, 80, 25)
+	train, test := Split(ds, 0.25, rand.New(rand.NewSource(26)))
+	for _, c := range []Classifier{
+		NewMLP(train, MLPConfig{Seed: 27}),
+		NewLinearSVM(train, SVMConfig{Seed: 28}),
+	} {
+		if acc := Evaluate(c, test); acc < 0.9 {
+			t.Errorf("%s held-out accuracy = %v", c.Name(), acc)
+		}
+	}
+}

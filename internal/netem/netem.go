@@ -1,0 +1,129 @@
+// Package netem models the Internet path between a CAAI prober and a Web
+// server the way the paper does: a network condition is reduced to a mean
+// RTT, an RTT standard deviation, and a packet-loss rate, and conditions
+// are drawn from empirical distributions measured against 5000 popular Web
+// servers (the paper's Figs. 4, 10, and 11). The paper replays such
+// conditions with NetEm on its testbed; we replay them directly in the
+// round-driven simulation.
+package netem
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Condition is one sampled network condition between the prober and a
+// server.
+type Condition struct {
+	// MeanRTT is the average round-trip time of the real path. The
+	// emulated environments require it to be below the emulated RTT.
+	MeanRTT time.Duration
+	// RTTStdDev is the standard deviation of the path RTT; it jitters
+	// the RTT samples the server observes around the emulated value.
+	RTTStdDev time.Duration
+	// LossRate is the probability that any single packet (data or ACK)
+	// is lost on the path, in [0, 1].
+	LossRate float64
+}
+
+// String renders the condition compactly.
+func (c Condition) String() string {
+	return fmt.Sprintf("rtt=%v±%v loss=%.2f%%", c.MeanRTT, c.RTTStdDev, c.LossRate*100)
+}
+
+// Lossless is the ideal testbed condition used for Fig. 3.
+var Lossless = Condition{MeanRTT: 50 * time.Millisecond}
+
+// Database holds the three empirical distributions a condition is drawn
+// from. It is immutable and safe for concurrent use.
+type Database struct {
+	rtt    *stats.ECDF // seconds
+	stddev *stats.ECDF // seconds
+	loss   *stats.ECDF // fraction
+}
+
+// NewDatabase builds a condition database from the three distributions.
+func NewDatabase(rtt, stddev, loss *stats.ECDF) *Database {
+	return &Database{rtt: rtt, stddev: stddev, loss: loss}
+}
+
+// MeasuredDatabase returns the condition database digitised from the
+// paper's measurements of 5000 popular Web servers (2010-2011): Fig. 4
+// (mean RTT: almost all below 0.8 s), Fig. 10 (RTT standard deviation), and
+// Fig. 11 (packet-loss rates from PCAP traces).
+func MeasuredDatabase() *Database {
+	rtt := stats.MustECDF([]stats.Anchor{
+		{Value: 0.005, Cum: 0},
+		{Value: 0.020, Cum: 0.10},
+		{Value: 0.050, Cum: 0.30},
+		{Value: 0.100, Cum: 0.55},
+		{Value: 0.200, Cum: 0.80},
+		{Value: 0.300, Cum: 0.90},
+		{Value: 0.500, Cum: 0.97},
+		{Value: 0.800, Cum: 0.995},
+		{Value: 1.500, Cum: 1},
+	})
+	stddev := stats.MustECDF([]stats.Anchor{
+		{Value: 0.0005, Cum: 0},
+		{Value: 0.002, Cum: 0.30},
+		{Value: 0.005, Cum: 0.50},
+		{Value: 0.010, Cum: 0.65},
+		{Value: 0.020, Cum: 0.80},
+		{Value: 0.040, Cum: 0.90},
+		{Value: 0.080, Cum: 0.97},
+		{Value: 0.200, Cum: 1},
+	})
+	loss := stats.MustECDF([]stats.Anchor{
+		{Value: 0.000, Cum: 0.35},
+		{Value: 0.001, Cum: 0.50},
+		{Value: 0.005, Cum: 0.65},
+		{Value: 0.010, Cum: 0.75},
+		{Value: 0.030, Cum: 0.85},
+		{Value: 0.050, Cum: 0.90},
+		{Value: 0.100, Cum: 0.95},
+		{Value: 0.200, Cum: 0.98},
+		{Value: 0.300, Cum: 1},
+	})
+	return NewDatabase(rtt, stddev, loss)
+}
+
+// Sample draws one condition (independent draws per dimension, as the
+// paper's testbed emulation does).
+func (db *Database) Sample(rng *rand.Rand) Condition {
+	return Condition{
+		MeanRTT:   time.Duration(db.rtt.Sample(rng) * float64(time.Second)),
+		RTTStdDev: time.Duration(db.stddev.Sample(rng) * float64(time.Second)),
+		LossRate:  db.loss.Sample(rng),
+	}
+}
+
+// RTTCDF exposes the mean-RTT distribution (Fig. 4).
+func (db *Database) RTTCDF() *stats.ECDF { return db.rtt }
+
+// StdDevCDF exposes the RTT standard deviation distribution (Fig. 10).
+func (db *Database) StdDevCDF() *stats.ECDF { return db.stddev }
+
+// LossCDF exposes the packet-loss distribution (Fig. 11).
+func (db *Database) LossCDF() *stats.ECDF { return db.loss }
+
+// Jitter returns a normally distributed RTT perturbation for one emulated
+// round, clamped so the perturbed RTT never drops below half the emulated
+// value (ACK deferral can stretch but not reverse time).
+func (c Condition) Jitter(rng *rand.Rand, emulated time.Duration) time.Duration {
+	if c.RTTStdDev <= 0 {
+		return 0
+	}
+	j := time.Duration(rng.NormFloat64() * float64(c.RTTStdDev))
+	if j < -emulated/2 {
+		j = -emulated / 2
+	}
+	return j
+}
+
+// Drop reports whether a single packet is lost under this condition.
+func (c Condition) Drop(rng *rand.Rand) bool {
+	return c.LossRate > 0 && rng.Float64() < c.LossRate
+}

@@ -1,0 +1,152 @@
+package probe
+
+// Integration tests for the paper's headline claims about the emulated
+// environments (Section IV-B: "Why these two network environments?").
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/feature"
+	"repro/internal/netem"
+	"repro/internal/tcpsim"
+	"repro/internal/websim"
+)
+
+// gatherPair gathers env A and B traces on the lossless testbed.
+func gatherPair(t *testing.T, server *websim.Server, wmax int) feature.Vector {
+	t.Helper()
+	p := New(Config{}, netem.Lossless, rand.New(rand.NewSource(1)))
+	ta, err := p.GatherEnv(server, EnvA(), wmax, 536, 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := p.GatherEnv(server, EnvB(), wmax, 536, 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return feature.Extract(ta, tb)
+}
+
+// TestEnvAAloneInsufficient: RENO and VEGAS have the same environment A
+// features (the paper's example for why environment B exists); the VEGAS
+// flag separates them.
+func TestEnvAAloneInsufficient(t *testing.T) {
+	reno := gatherPair(t, websim.Testbed("RENO"), 256)
+	vegas := gatherPair(t, websim.Testbed("VEGAS"), 256)
+	// Environment A features coincide up to a one-packet offset (Vegas
+	// applies its per-round +1 at a slightly different instant).
+	if d := vegas[feature.BetaA] - reno[feature.BetaA]; d > 0.01 || d < -0.01 {
+		t.Fatalf("RENO and VEGAS env A betas should coincide: %v vs %v", reno, vegas)
+	}
+	if d := vegas[feature.G6A] - reno[feature.G6A]; d > 1 || d < -1 {
+		t.Fatalf("RENO and VEGAS env A growth should coincide: %v vs %v", reno, vegas)
+	}
+	if reno[feature.VegasFlag] == vegas[feature.VegasFlag] {
+		t.Fatal("the VEGAS flag must separate RENO from VEGAS")
+	}
+}
+
+// TestSTCPvsYeahNeedsEnvB: STCP and YEAH coincide in environment A (both
+// scalable growth, beta 0.875) and split in environment B.
+func TestSTCPvsYeahNeedsEnvB(t *testing.T) {
+	stcp := gatherPair(t, websim.Testbed("STCP"), 256)
+	yeah := gatherPair(t, websim.Testbed("YEAH"), 256)
+	if stcp[feature.BetaA] != yeah[feature.BetaA] || stcp[feature.G6A] != yeah[feature.G6A] {
+		t.Fatalf("STCP/YEAH env A features differ: %v vs %v", stcp, yeah)
+	}
+	if stcp[feature.G6B] == yeah[feature.G6B] {
+		t.Fatal("environment B must separate STCP from YEAH")
+	}
+}
+
+// TestCTCPVersionsNeedEnvB: the two CTCP builds coincide in environment A
+// and split in environment B's post-timeout RTT step.
+func TestCTCPVersionsNeedEnvB(t *testing.T) {
+	c1 := gatherPair(t, websim.Testbed("CTCP1"), 256)
+	c2 := gatherPair(t, websim.Testbed("CTCP2"), 256)
+	if c1[feature.G6A] != c2[feature.G6A] {
+		t.Fatalf("CTCP1/CTCP2 env A growth differs: %v vs %v", c1, c2)
+	}
+	if c1[feature.G6B] == c2[feature.G6B] {
+		t.Fatal("environment B must separate CTCP1 from CTCP2")
+	}
+}
+
+// TestAllFourteenPairwiseDistinguishable: with both environments at
+// wmax=256 every pair of the 14 algorithms differs in at least one
+// feature -- the paper's Fig. 3 claim.
+func TestAllFourteenPairwiseDistinguishable(t *testing.T) {
+	algos := []string{"RENO", "BIC", "CTCP1", "CTCP2", "CUBIC1", "CUBIC2", "HSTCP",
+		"HTCP", "ILLINOIS", "STCP", "VEGAS", "VENO", "WESTWOOD", "YEAH"}
+	vectors := make(map[string]feature.Vector, len(algos))
+	for _, a := range algos {
+		vectors[a] = gatherPair(t, websim.Testbed(a), 256)
+	}
+	for i, a := range algos {
+		for _, b := range algos[i+1:] {
+			if vectors[a] == vectors[b] {
+				t.Errorf("%s and %s share the feature vector %v", a, b, vectors[a])
+			}
+		}
+	}
+}
+
+// TestHyStartInvisibleToCAAI: the paper claims CUBIC's hybrid slow start
+// behaves like the standard one in the emulated environments, "since the
+// RTTs of the slow start state after the timeout remain unchanged". In
+// environment A (constant RTT throughout) the whole trace is identical;
+// in environment B the post-timeout slow start stays pure doubling and
+// the extracted beta is unchanged (HyStart may fire on the *pre-timeout*
+// RTT step, which only rescales w(tmo)).
+func TestHyStartInvisibleToCAAI(t *testing.T) {
+	plain := websim.Testbed("CUBIC2")
+	hystart := websim.Testbed("CUBIC2")
+	hystart.SlowStart = tcpsim.SlowStartHybrid
+
+	gather := func(s *websim.Server, env Environment) *feature.Extraction {
+		p := New(Config{}, netem.Lossless, rand.New(rand.NewSource(2)))
+		tr, err := p.GatherEnv(s, env, 256, 536, 64<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := feature.ExtractEnv(tr)
+		return &e
+	}
+
+	// Environment A: identical end to end.
+	p1 := New(Config{}, netem.Lossless, rand.New(rand.NewSource(2)))
+	t1, err := p1.GatherEnv(plain, EnvA(), 256, 536, 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := New(Config{}, netem.Lossless, rand.New(rand.NewSource(2)))
+	t2, err := p2.GatherEnv(hystart, EnvA(), 256, 536, 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(t1.Post, t2.Post) || !reflect.DeepEqual(t1.Pre, t2.Pre) {
+		t.Fatalf("env A: HyStart changed the trace:\n%v\n%v", t1, t2)
+	}
+
+	// Environment B: the extracted beta must match.
+	eb1 := gather(plain, EnvB())
+	eb2 := gather(hystart, EnvB())
+	if d := eb1.Beta - eb2.Beta; d > 0.02 || d < -0.02 {
+		t.Fatalf("env B: HyStart changed beta: %v vs %v", eb1.Beta, eb2.Beta)
+	}
+}
+
+// TestRenoVenoSimilarInEnvB: the paper notes RENO and VENO have very
+// similar env B traces; env A separates them through beta (0.5 vs 0.8).
+func TestRenoVenoSimilarInEnvB(t *testing.T) {
+	reno := gatherPair(t, websim.Testbed("RENO"), 256)
+	veno := gatherPair(t, websim.Testbed("VENO"), 256)
+	if db := veno[feature.BetaB] - reno[feature.BetaB]; db > 0.05 || db < -0.05 {
+		t.Fatalf("env B betas should be close: reno %v veno %v", reno[feature.BetaB], veno[feature.BetaB])
+	}
+	if da := veno[feature.BetaA] - reno[feature.BetaA]; da < 0.2 {
+		t.Fatalf("env A betas should differ by ~0.3: reno %v veno %v", reno[feature.BetaA], veno[feature.BetaA])
+	}
+}

@@ -1,0 +1,29 @@
+package probe
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/netem"
+	"repro/internal/websim"
+)
+
+// TestDebugTraceShapes prints the Fig. 3 style traces for eyeballing with
+// go test -v -run DebugTraceShapes.
+func TestDebugTraceShapes(t *testing.T) {
+	for _, name := range cc.Names() {
+		for _, envName := range []string{"A", "B"} {
+			env := EnvA()
+			if envName == "B" {
+				env = EnvB()
+			}
+			p := New(Config{}, netem.Lossless, rand.New(rand.NewSource(1)))
+			tr, err := p.GatherEnv(websim.Testbed(name), env, 256, 536, 64<<20)
+			if err != nil {
+				t.Fatalf("%s env %s: %v", name, envName, err)
+			}
+			t.Logf("%-9s env %s: %s", name, envName, tr)
+		}
+	}
+}

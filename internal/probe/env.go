@@ -1,0 +1,64 @@
+// Package probe implements CAAI step 1, trace gathering: it emulates the
+// paper's two network environments by controlling when ACKs reach the
+// server, measures the server's window each emulated RTT from the highest
+// received sequence number, emulates the timeout by going silent, and
+// walks the wmax (512/256/128/64) and MSS (100/300/536/1460) ladders until
+// it gathers a valid trace.
+package probe
+
+import "time"
+
+// Environment is one of the paper's emulated network environments: an RTT
+// schedule before and after the emulated timeout (Fig. 2). ACKs are never
+// delayed beyond the schedule and never reordered; data loss is masked by
+// acknowledging as if nothing was lost.
+type Environment struct {
+	// Name is "A" or "B".
+	Name string
+	// preRTT returns the emulated RTT of 1-based round r before the
+	// timeout.
+	preRTT func(r int) time.Duration
+	// postRTT returns the emulated RTT of 1-based round r after the
+	// timeout.
+	postRTT func(r int) time.Duration
+}
+
+// PreRTT returns the emulated RTT of 1-based pre-timeout round r.
+func (e Environment) PreRTT(r int) time.Duration { return e.preRTT(r) }
+
+// PostRTT returns the emulated RTT of 1-based post-timeout round r.
+func (e Environment) PostRTT(r int) time.Duration { return e.postRTT(r) }
+
+const (
+	rttLong  = 1000 * time.Millisecond
+	rttShort = 800 * time.Millisecond
+)
+
+// EnvA is network environment A: a fixed 1.0 s RTT throughout.
+func EnvA() Environment {
+	fixed := func(int) time.Duration { return rttLong }
+	return Environment{Name: "A", preRTT: fixed, postRTT: fixed}
+}
+
+// EnvB is network environment B: 0.8 s for the first three RTTs before the
+// timeout and 1.0 s afterwards, then 0.8 s for the first twelve RTTs after
+// the timeout and 1.0 s afterwards (Fig. 2). The pre-timeout step exposes
+// RTT-dependent multiplicative decrease parameters (ILLINOIS, VENO); the
+// post-timeout step exposes RTT-dependent growth functions (CTCP2, YEAH).
+func EnvB() Environment {
+	return Environment{
+		Name: "B",
+		preRTT: func(r int) time.Duration {
+			if r <= 3 {
+				return rttShort
+			}
+			return rttLong
+		},
+		postRTT: func(r int) time.Duration {
+			if r <= 12 {
+				return rttShort
+			}
+			return rttLong
+		},
+	}
+}

@@ -1,0 +1,223 @@
+package probe
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/trace"
+	"repro/internal/websim"
+)
+
+// Default ladders and budgets from Section IV of the paper.
+var (
+	// DefaultWmaxLadder is tried in decreasing order: traces above 512
+	// are hard to obtain, traces below 64 are almost useless.
+	DefaultWmaxLadder = []int{512, 256, 128, 64}
+	// DefaultMSSLadder is tried in increasing order: the smaller the
+	// MSS, the higher the achievable window.
+	DefaultMSSLadder = []int{100, 300, 536, 1460}
+)
+
+// Config tunes a Prober. The zero value selects the paper's defaults.
+type Config struct {
+	// WmaxLadder overrides DefaultWmaxLadder.
+	WmaxLadder []int
+	// MSSLadder overrides DefaultMSSLadder.
+	MSSLadder []int
+	// Requests is how many pipelined HTTP requests CAAI repeats
+	// (default 12).
+	Requests int
+	// MaxPreRounds bounds the pre-timeout gathering (default 40).
+	MaxPreRounds int
+	// PostRounds is the required post-timeout rounds (default 18).
+	PostRounds int
+	// InterEnvWait separates environments A and B so slow start
+	// threshold caches expire (default 10 minutes, as in the paper).
+	InterEnvWait time.Duration
+	// DisableDupAck turns off the F-RTO counter-measure (for the
+	// ablation experiment).
+	DisableDupAck bool
+	// DisablePageSearch skips the long-page search and uses the default
+	// page (for the ablation experiment).
+	DisablePageSearch bool
+	// PageSearchSuccess is the probability the page-searching tool
+	// finds the server's longest page (default 0.95).
+	PageSearchSuccess float64
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.WmaxLadder) == 0 {
+		c.WmaxLadder = DefaultWmaxLadder
+	}
+	if len(c.MSSLadder) == 0 {
+		c.MSSLadder = DefaultMSSLadder
+	}
+	if c.Requests <= 0 {
+		c.Requests = 12
+	}
+	if c.MaxPreRounds <= 0 {
+		c.MaxPreRounds = 40
+	}
+	if c.PostRounds <= 0 {
+		c.PostRounds = trace.ValidPostRounds
+	}
+	if c.InterEnvWait <= 0 {
+		c.InterEnvWait = 10 * time.Minute
+	}
+	if c.PageSearchSuccess <= 0 {
+		c.PageSearchSuccess = 0.95
+	}
+	return c
+}
+
+// InvalidReason explains why no valid trace could be gathered (the census
+// buckets of Section VII-B2).
+type InvalidReason string
+
+// Invalid-trace causes.
+const (
+	// ReasonNone marks a successful gathering.
+	ReasonNone InvalidReason = ""
+	// ReasonInsufficientData: no long enough page, or too few repeated
+	// HTTP requests accepted.
+	ReasonInsufficientData InvalidReason = "insufficient data"
+	// ReasonNoTimeout: the window stayed at or below wmax (Fig. 13).
+	ReasonNoTimeout InvalidReason = "no timeout"
+	// ReasonNoResponse: the server never responded to the timeout.
+	ReasonNoResponse InvalidReason = "no response after timeout"
+	// ReasonMSSRejected: the server rejected every MSS of the ladder.
+	ReasonMSSRejected InvalidReason = "mss rejected"
+)
+
+// Result is the outcome of gathering traces from one server.
+type Result struct {
+	// TraceA and TraceB are the environment A and B traces. TraceB may
+	// be a no-timeout trace (the VEGAS signature).
+	TraceA *trace.Trace
+	TraceB *trace.Trace
+	// Wmax and MSS are the ladder values that produced the traces.
+	Wmax int
+	MSS  int
+	// PageBytes is the page length used for the repeated requests.
+	PageBytes int64
+	// Valid reports whether TraceA is a valid trace.
+	Valid bool
+	// Reason explains an invalid result.
+	Reason InvalidReason
+}
+
+// Prober gathers window traces from simulated Web servers under one
+// network condition. Not safe for concurrent use (owns an RNG).
+type Prober struct {
+	cfg  Config
+	cond netem.Condition
+	rng  *rand.Rand
+	// clock is the wall-clock of this prober's experiments; it advances
+	// across sessions and the inter-environment waits.
+	clock time.Duration
+}
+
+// New returns a prober for the given network condition.
+func New(cfg Config, cond netem.Condition, rng *rand.Rand) *Prober {
+	return &Prober{cfg: cfg.withDefaults(), cond: cond, rng: rng}
+}
+
+// negotiateMSS walks the MSS ladder until the server accepts.
+func (p *Prober) negotiateMSS(server *websim.Server) (int, bool) {
+	for _, mss := range p.cfg.MSSLadder {
+		if server.AcceptsMSS(mss) {
+			return mss, true
+		}
+	}
+	return 0, false
+}
+
+// findPage models the Web-page searching tool (httrack + dig + header
+// probing, Section IV-E): it locates the server's longest page with high
+// probability, falling back to the default page.
+func (p *Prober) findPage(server *websim.Server) int64 {
+	page := server.DefaultPageBytes
+	if p.cfg.DisablePageSearch {
+		return page
+	}
+	if server.LongestPageBytes > page && p.rng.Float64() < p.cfg.PageSearchSuccess {
+		page = server.LongestPageBytes
+	}
+	return page
+}
+
+// GatherEnv gathers a single trace from server in env with explicit wmax
+// and mss, using page bytes of data per request. It is the building block
+// Fig. 3 uses directly.
+func (p *Prober) GatherEnv(server *websim.Server, env Environment, wmax, mss int, pageBytes int64) (*trace.Trace, error) {
+	sender, err := server.Open(mss, p.cfg.Requests, pageBytes, p.clock)
+	if err != nil {
+		return nil, err
+	}
+	t, end := runSession(sender, sessionParams{
+		env:          env,
+		wmax:         wmax,
+		mss:          mss,
+		cond:         p.cond,
+		rng:          p.rng,
+		maxPreRounds: p.cfg.MaxPreRounds,
+		postRounds:   p.cfg.PostRounds,
+		dupAck:       !p.cfg.DisableDupAck,
+		start:        p.clock,
+	})
+	p.clock = end
+	server.Close(sender, p.clock)
+	return t, nil
+}
+
+// Gather walks the wmax ladder, gathering environment A and B traces, and
+// returns the first valid pair.
+func (p *Prober) Gather(server *websim.Server) *Result {
+	mss, ok := p.negotiateMSS(server)
+	if !ok {
+		return &Result{Reason: ReasonMSSRejected}
+	}
+	page := p.findPage(server)
+	reason := ReasonInsufficientData
+	for _, wmax := range p.cfg.WmaxLadder {
+		ta, err := p.GatherEnv(server, EnvA(), wmax, mss, page)
+		if err != nil {
+			return &Result{Reason: ReasonMSSRejected, MSS: mss}
+		}
+		if !ta.Valid() {
+			reason = invalidReason(ta)
+			continue
+		}
+		p.clock += p.cfg.InterEnvWait
+		tb, err := p.GatherEnv(server, EnvB(), wmax, mss, page)
+		if err != nil {
+			return &Result{Reason: ReasonMSSRejected, MSS: mss}
+		}
+		if tb.TimedOut && !tb.Valid() {
+			reason = invalidReason(tb)
+			continue
+		}
+		return &Result{
+			TraceA:    ta,
+			TraceB:    tb,
+			Wmax:      wmax,
+			MSS:       mss,
+			PageBytes: page,
+			Valid:     true,
+		}
+	}
+	return &Result{MSS: mss, PageBytes: page, Reason: reason}
+}
+
+// invalidReason maps a failed trace to its census bucket.
+func invalidReason(t *trace.Trace) InvalidReason {
+	switch {
+	case t.DataExhausted:
+		return ReasonInsufficientData
+	case !t.TimedOut:
+		return ReasonNoTimeout
+	default:
+		return ReasonNoResponse
+	}
+}

@@ -1,0 +1,160 @@
+package probe
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/tcpsim"
+	"repro/internal/trace"
+)
+
+// sessionParams bundles everything one trace-gathering session needs.
+type sessionParams struct {
+	env          Environment
+	wmax         int
+	mss          int
+	cond         netem.Condition
+	rng          *rand.Rand
+	maxPreRounds int
+	postRounds   int
+	dupAck       bool
+	start        time.Duration
+}
+
+// session gathers one window trace from a sender. It owns the emulated
+// clock for the connection.
+type session struct {
+	p          sessionParams
+	sender     *tcpsim.Sender
+	now        time.Duration
+	round      int64 // global round counter fed to the CC algorithms
+	maxRecvSeq int64 // highest segment received so far, as a count
+	ackedHigh  int64 // highest cumulative ACK value the probe has sent
+}
+
+// run executes the session and returns the gathered trace and the
+// simulated end time.
+func runSession(sender *tcpsim.Sender, p sessionParams) (*trace.Trace, time.Duration) {
+	s := &session{p: p, sender: sender, now: p.start}
+	t := &trace.Trace{
+		Env:           p.env.Name,
+		WmaxThreshold: p.wmax,
+		MSS:           p.mss,
+	}
+	s.gatherPre(t)
+	if t.TimedOut {
+		s.emulateTimeout()
+		s.gatherPost(t)
+	}
+	return t, s.now
+}
+
+// receiveBurst simulates the data path: it updates the highest received
+// sequence number (subject to data-packet loss) and returns the measured
+// window of the round, w = maxSeq(r) - maxSeq(r-1), together with the
+// cumulative ACK value CAAI sends for each data packet of the burst.
+//
+// Before the timeout CAAI acknowledges each packet as if nothing was lost
+// or reordered (the k-th ACK covers the k-th segment of the burst); after
+// the timeout every ACK acknowledges all data received so far, which is
+// what instantly re-covers the pre-timeout burst during timeout recovery.
+func (s *session) receiveBurst(burst []tcpsim.Segment, asIfInOrder bool) (int, []int64) {
+	before := s.maxRecvSeq
+	acks := make([]int64, 0, len(burst))
+	for k, seg := range burst {
+		if !s.p.cond.Drop(s.p.rng) {
+			if count := seg.ID + 1; count > s.maxRecvSeq {
+				s.maxRecvSeq = count
+			}
+		}
+		if asIfInOrder {
+			acks = append(acks, burst[0].ID+int64(k)+1)
+		} else {
+			acks = append(acks, s.maxRecvSeq)
+		}
+	}
+	return int(s.maxRecvSeq - before), acks
+}
+
+// deliverAcks sends the prepared cumulative ACKs, each independently
+// subject to ACK loss, all arriving after the emulated RTT of the round.
+func (s *session) deliverAcks(acks []int64, rtt time.Duration) {
+	if len(acks) == 0 {
+		return
+	}
+	arrive := s.now + rtt
+	sample := rtt + s.p.cond.Jitter(s.p.rng, rtt)
+	s.round++
+	s.sender.BeginRound(s.round)
+	for _, ackSeg := range acks {
+		if ackSeg > s.ackedHigh {
+			s.ackedHigh = ackSeg
+		}
+		if s.p.cond.Drop(s.p.rng) {
+			continue // ACK lost on the way to the server
+		}
+		s.sender.DeliverAck(arrive, ackSeg, sample)
+	}
+	s.now = arrive
+}
+
+// gatherPre runs the pre-timeout rounds until the measured window exceeds
+// wmax, the data runs out, or the round budget is exhausted.
+func (s *session) gatherPre(t *trace.Trace) {
+	for r := 1; r <= s.p.maxPreRounds; r++ {
+		burst := s.sender.SendBurst(s.now)
+		if len(burst) == 0 {
+			if s.sender.DataExhausted() {
+				t.DataExhausted = true
+				return
+			}
+			// Every ACK of the previous round was lost: the real
+			// server hits its own RTO and retransmits.
+			s.now += s.sender.RTO()
+			s.sender.OnRTOExpired(s.now)
+			continue
+		}
+		w, acks := s.receiveBurst(burst, true)
+		t.Pre = append(t.Pre, w)
+		if w > s.p.wmax {
+			t.TimedOut = true
+			return // go silent: the emulated timeout begins
+		}
+		s.deliverAcks(acks, s.p.env.PreRTT(r))
+	}
+}
+
+// emulateTimeout lets the server's RTO fire and defuses F-RTO with a
+// duplicate ACK, exactly as the paper's counter-measure does.
+func (s *session) emulateTimeout() {
+	s.now += s.sender.RTO()
+	s.sender.OnRTOExpired(s.now)
+	if s.p.dupAck {
+		// A duplicate of the last cumulative ACK: forces conventional
+		// timeout recovery on F-RTO servers.
+		s.sender.DeliverAck(s.now, s.ackedHigh, 0)
+	}
+}
+
+// gatherPost gathers the post-timeout rounds; every received data packet
+// is answered with an ACK covering everything received so far.
+func (s *session) gatherPost(t *trace.Trace) {
+	for r := 1; r <= s.p.postRounds; r++ {
+		burst := s.sender.SendBurst(s.now)
+		if len(burst) == 0 && s.sender.DataExhausted() {
+			t.DataExhausted = true
+			return
+		}
+		w, acks := s.receiveBurst(burst, false)
+		t.Post = append(t.Post, w)
+		rtt := s.p.env.PostRTT(r)
+		if len(burst) == 0 {
+			// Silent server (e.g. one that ignores the timeout):
+			// time still passes.
+			s.now += rtt
+			continue
+		}
+		s.deliverAcks(acks, rtt)
+	}
+}

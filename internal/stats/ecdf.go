@@ -1,0 +1,123 @@
+// Package stats provides the small statistical toolkit CAAI depends on:
+// empirical cumulative distribution functions with inverse-transform
+// sampling, normal sampling, and summary statistics with confidence
+// intervals (used by the paper's Eq. 1 ACK-loss estimator).
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// ErrInvalidECDF reports a malformed anchor list.
+var ErrInvalidECDF = errors.New("stats: invalid ECDF anchors")
+
+// Anchor is a single (value, cumulative probability) point of an empirical
+// CDF. Anchors are linearly interpolated between points.
+type Anchor struct {
+	Value float64
+	Cum   float64
+}
+
+// ECDF is a piecewise-linear empirical cumulative distribution function.
+// It is immutable after construction and safe for concurrent use.
+type ECDF struct {
+	anchors []Anchor
+}
+
+// NewECDF builds an ECDF from anchors. Anchors must be strictly increasing
+// in Value, non-decreasing in Cum, and the final Cum must be 1. A leading
+// implicit anchor at Cum 0 is added if the first anchor has Cum > 0.
+func NewECDF(anchors []Anchor) (*ECDF, error) {
+	if len(anchors) < 2 {
+		return nil, fmt.Errorf("%w: need at least 2 anchors, got %d", ErrInvalidECDF, len(anchors))
+	}
+	pts := make([]Anchor, 0, len(anchors)+1)
+	if anchors[0].Cum > 0 {
+		pts = append(pts, Anchor{Value: anchors[0].Value, Cum: 0})
+	}
+	pts = append(pts, anchors...)
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Value < pts[i-1].Value {
+			return nil, fmt.Errorf("%w: values not sorted at index %d", ErrInvalidECDF, i)
+		}
+		if pts[i].Cum < pts[i-1].Cum {
+			return nil, fmt.Errorf("%w: cumulative probabilities decrease at index %d", ErrInvalidECDF, i)
+		}
+	}
+	last := pts[len(pts)-1]
+	if last.Cum != 1 {
+		return nil, fmt.Errorf("%w: final cumulative probability is %v, want 1", ErrInvalidECDF, last.Cum)
+	}
+	return &ECDF{anchors: pts}, nil
+}
+
+// MustECDF is NewECDF that panics on error; for package-level tables whose
+// anchors are compile-time constants.
+func MustECDF(anchors []Anchor) *ECDF {
+	e, err := NewECDF(anchors)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// CDF returns P(X <= v). Point masses (consecutive anchors with equal
+// Value) are respected: the probability at the mass is the highest Cum of
+// that value.
+func (e *ECDF) CDF(v float64) float64 {
+	pts := e.anchors
+	if v < pts[0].Value {
+		return 0
+	}
+	if v >= pts[len(pts)-1].Value {
+		return 1
+	}
+	// First anchor strictly above v; its predecessor is at or below.
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].Value > v })
+	lo, hi := pts[i-1], pts[i]
+	if lo.Value == v || hi.Value == lo.Value {
+		return lo.Cum
+	}
+	frac := (v - lo.Value) / (hi.Value - lo.Value)
+	return lo.Cum + frac*(hi.Cum-lo.Cum)
+}
+
+// Quantile returns the value at cumulative probability p in [0, 1],
+// the inverse of CDF up to interpolation.
+func (e *ECDF) Quantile(p float64) float64 {
+	pts := e.anchors
+	if p <= pts[0].Cum {
+		return pts[0].Value
+	}
+	if p >= 1 {
+		return pts[len(pts)-1].Value
+	}
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].Cum >= p })
+	lo, hi := pts[i-1], pts[i]
+	if hi.Cum == lo.Cum {
+		return hi.Value
+	}
+	frac := (p - lo.Cum) / (hi.Cum - lo.Cum)
+	return lo.Value + frac*(hi.Value-lo.Value)
+}
+
+// Sample draws one value by inverse-transform sampling.
+func (e *ECDF) Sample(rng *rand.Rand) float64 {
+	return e.Quantile(rng.Float64())
+}
+
+// Min returns the smallest representable value.
+func (e *ECDF) Min() float64 { return e.anchors[0].Value }
+
+// Max returns the largest representable value.
+func (e *ECDF) Max() float64 { return e.anchors[len(e.anchors)-1].Value }
+
+// Points returns a copy of the anchor list (for rendering CDFs).
+func (e *ECDF) Points() []Anchor {
+	out := make([]Anchor, len(e.anchors))
+	copy(out, e.anchors)
+	return out
+}

@@ -1,0 +1,177 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustECDF(t *testing.T, anchors []Anchor) *ECDF {
+	t.Helper()
+	e, err := NewECDF(anchors)
+	if err != nil {
+		t.Fatalf("NewECDF: %v", err)
+	}
+	return e
+}
+
+func TestNewECDFValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		anchors []Anchor
+		wantErr bool
+	}{
+		{"valid", []Anchor{{0, 0}, {1, 1}}, false},
+		{"implicit leading zero", []Anchor{{1, 0.5}, {2, 1}}, false},
+		{"too few", []Anchor{{0, 1}}, true},
+		{"unsorted values", []Anchor{{2, 0}, {1, 1}}, true},
+		{"decreasing cum", []Anchor{{0, 0.5}, {1, 0.2}, {2, 1}}, true},
+		{"final not one", []Anchor{{0, 0}, {1, 0.9}}, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewECDF(tc.anchors)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("err = %v, wantErr = %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestMustECDFPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustECDF did not panic on invalid anchors")
+		}
+	}()
+	MustECDF([]Anchor{{0, 1}})
+}
+
+func TestECDFInterpolation(t *testing.T) {
+	e := mustECDF(t, []Anchor{{0, 0}, {10, 0.5}, {20, 1}})
+	tests := []struct {
+		v    float64
+		want float64
+	}{
+		{-5, 0}, {0, 0}, {5, 0.25}, {10, 0.5}, {15, 0.75}, {20, 1}, {30, 1},
+	}
+	for _, tc := range tests {
+		if got := e.CDF(tc.v); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("CDF(%v) = %v, want %v", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestECDFQuantileInvertsCDF(t *testing.T) {
+	e := mustECDF(t, []Anchor{{0, 0}, {1, 0.2}, {5, 0.7}, {9, 1}})
+	for _, p := range []float64{0, 0.1, 0.2, 0.35, 0.7, 0.9, 1} {
+		v := e.Quantile(p)
+		if got := e.CDF(v); math.Abs(got-p) > 1e-9 {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+}
+
+func TestECDFQuantileMonotone(t *testing.T) {
+	e := mustECDF(t, []Anchor{{0, 0}, {2, 0.3}, {4, 0.9}, {10, 1}})
+	f := func(a, b float64) bool {
+		pa, pb := math.Abs(math.Mod(a, 1)), math.Abs(math.Mod(b, 1))
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return e.Quantile(pa) <= e.Quantile(pb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestECDFSampleWithinBounds(t *testing.T) {
+	e := mustECDF(t, []Anchor{{1, 0}, {3, 0.5}, {7, 1}})
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		v := e.Sample(rng)
+		if v < e.Min() || v > e.Max() {
+			t.Fatalf("sample %v outside [%v, %v]", v, e.Min(), e.Max())
+		}
+	}
+}
+
+func TestECDFSampleMatchesDistribution(t *testing.T) {
+	e := mustECDF(t, []Anchor{{0, 0}, {1, 0.5}, {10, 1}})
+	rng := rand.New(rand.NewSource(2))
+	below := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if e.Sample(rng) <= 1 {
+			below++
+		}
+	}
+	frac := float64(below) / n
+	if frac < 0.47 || frac > 0.53 {
+		t.Fatalf("P(X<=1) = %v, want ~0.5", frac)
+	}
+}
+
+func TestECDFPointsCopied(t *testing.T) {
+	e := mustECDF(t, []Anchor{{0, 0}, {1, 1}})
+	pts := e.Points()
+	pts[0].Value = 99
+	if e.Points()[0].Value == 99 {
+		t.Fatal("Points leaked internal state")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v", got)
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{5}); got != 0 {
+		t.Fatalf("StdDev single = %v", got)
+	}
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	want := 2.138089935
+	if math.Abs(got-want) > 1e-6 {
+		t.Fatalf("StdDev = %v, want %v", got, want)
+	}
+}
+
+func TestMeanCI95UpperBound(t *testing.T) {
+	xs := []float64{0.1, 0.2, 0.15, 0.05, 0.1}
+	m, ci := Mean(xs), MeanCI95(xs)
+	if ci <= m {
+		t.Fatalf("MeanCI95 = %v not above mean %v", ci, m)
+	}
+	// Single sample: CI degenerates to the mean.
+	if got := MeanCI95([]float64{0.3}); got != 0.3 {
+		t.Fatalf("MeanCI95 single = %v", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	tests := []struct{ v, lo, hi, want float64 }{
+		{5, 0, 10, 5}, {-1, 0, 10, 0}, {11, 0, 10, 10},
+	}
+	for _, tc := range tests {
+		if got := Clamp(tc.v, tc.lo, tc.hi); got != tc.want {
+			t.Errorf("Clamp(%v) = %v, want %v", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestClampProperty(t *testing.T) {
+	f := func(v float64) bool {
+		got := Clamp(v, 0.15, 0.60)
+		return got >= 0.15 && got <= 0.60
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,56 @@
+package stats
+
+import "math"
+
+// z95 is the two-sided 95% normal critical value used by the paper's Eq. 1
+// confidence interval.
+const z95 = 1.96
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator) of xs,
+// or 0 when fewer than two samples are given.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// MeanCI95 returns mean + the half-width of the 95% confidence interval of
+// the mean, i.e. the upper confidence bound the paper's Eq. 1 uses as a
+// conservative ACK-loss-rate estimate.
+func MeanCI95(xs []float64) float64 {
+	m := Mean(xs)
+	if len(xs) < 2 {
+		return m
+	}
+	return m + z95*StdDev(xs)/math.Sqrt(float64(len(xs)))
+}
+
+// Clamp bounds v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,162 @@
+package tcpsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/cc"
+)
+
+// TestSenderInvariantsUnderRandomDriving fuzzes a sender with random
+// bursts, ACK patterns (in-order, duplicate, stale, skipping), RTOs and
+// timeouts, checking structural invariants after every step: the pipe
+// never goes negative, snd_una never exceeds the data, cwnd stays at least
+// one packet and finite, and bursts never exceed the configured buffers.
+func TestSenderInvariantsUnderRandomDriving(t *testing.T) {
+	algorithms := cc.Names()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		algName := algorithms[rng.Intn(len(algorithms))]
+		alg, err := cc.New(algName)
+		if err != nil {
+			return false
+		}
+		opts := Options{
+			MSS:           536,
+			TotalSegments: int64(200 + rng.Intn(2000)),
+			Recovery:      RecoveryScheme(rng.Intn(3)),
+			SlowStart:     SlowStartScheme(rng.Intn(3)),
+			FRTO:          rng.Intn(2) == 0,
+		}
+		if rng.Intn(3) == 0 {
+			opts.SendBufferSegments = int64(8 + rng.Intn(64))
+		}
+		if rng.Intn(3) == 0 {
+			opts.CwndClamp = float64(8 + rng.Intn(64))
+		}
+		s := New(alg, opts)
+		now := time.Duration(0)
+		var lastBurstEnd int64
+		for step := 0; step < 120; step++ {
+			burst := s.SendBurst(now)
+			for _, seg := range burst {
+				if seg.ID < 0 || seg.ID >= opts.TotalSegments {
+					t.Logf("%s: segment %d out of range", algName, seg.ID)
+					return false
+				}
+				if seg.ID+1 > lastBurstEnd {
+					lastBurstEnd = seg.ID + 1
+				}
+			}
+			if opts.SendBufferSegments > 0 && s.pipe > opts.SendBufferSegments {
+				t.Logf("%s: pipe %d exceeds send buffer", algName, s.pipe)
+				return false
+			}
+			// Random receiver behaviour.
+			s.BeginRound(int64(step))
+			arr := now + time.Second
+			switch rng.Intn(5) {
+			case 0: // ack everything seen so far
+				s.DeliverAck(arr, lastBurstEnd, time.Second)
+			case 1: // partial ack
+				if lastBurstEnd > 0 {
+					s.DeliverAck(arr, rng.Int63n(lastBurstEnd)+1, time.Second)
+				}
+			case 2: // duplicate storm
+				for i := 0; i < rng.Intn(6); i++ {
+					s.DeliverAck(arr, s.sndUna, time.Second)
+				}
+			case 3: // silence, then RTO
+				now += s.RTO()
+				s.OnRTOExpired(now)
+			case 4: // per-segment in-order acks
+				for _, seg := range burst {
+					s.DeliverAck(arr, seg.ID+1, time.Second)
+				}
+			}
+			now = arr
+
+			// Invariants.
+			if s.pipe < 0 {
+				t.Logf("%s: negative pipe", algName)
+				return false
+			}
+			if s.sndUna > opts.TotalSegments || s.sndUna > s.sndNxt {
+				t.Logf("%s: snd_una %d beyond snd_nxt %d", algName, s.sndUna, s.sndNxt)
+				return false
+			}
+			cw := s.Conn().Cwnd
+			if cw < 1 || math.IsNaN(cw) || math.IsInf(cw, 0) {
+				t.Logf("%s: bad cwnd %v", algName, cw)
+				return false
+			}
+			th := s.Conn().Ssthresh
+			if th < 1 || math.IsNaN(th) {
+				t.Logf("%s: bad ssthresh %v", algName, th)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAlgorithmsToleratErraticRTTs feeds every algorithm random RTT
+// samples (including zero and extreme values) and checks the window stays
+// finite and at least one packet.
+func TestAlgorithmsToleratErraticRTTs(t *testing.T) {
+	for _, name := range cc.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			f := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				alg, err := cc.New(name)
+				if err != nil {
+					return false
+				}
+				c := cc.NewConn(536, 2)
+				c.Ssthresh = 64
+				alg.Reset(c)
+				for i := 0; i < 300; i++ {
+					if rng.Intn(20) == 0 {
+						c.Round++
+					}
+					if rng.Intn(40) == 0 {
+						c.Ssthresh = alg.Ssthresh(c)
+						c.Cwnd = 1
+						alg.OnTimeout(c)
+					}
+					var rtt time.Duration
+					switch rng.Intn(4) {
+					case 0:
+						rtt = 0 // invalid sample (Karn)
+					case 1:
+						rtt = time.Duration(rng.Intn(100)) * time.Millisecond
+					case 2:
+						rtt = time.Second
+					case 3:
+						rtt = time.Duration(rng.Intn(30)) * time.Second
+					}
+					c.Now += time.Second
+					if rtt > 0 {
+						c.ObserveRTT(rtt)
+					}
+					alg.OnAck(c, 1, rtt)
+					if c.Cwnd < 1 || math.IsNaN(c.Cwnd) || math.IsInf(c.Cwnd, 0) {
+						t.Logf("cwnd %v after %d acks", c.Cwnd, i)
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}

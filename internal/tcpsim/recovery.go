@@ -1,0 +1,128 @@
+package tcpsim
+
+import "time"
+
+// RecoveryScheme selects the loss recovery component of the sender (the
+// paper's Fig. 1 lists it as a TCP component separate from congestion
+// avoidance; TBIT identifies it, CAAI deliberately avoids triggering it by
+// emulating timeouts instead of loss events).
+type RecoveryScheme int
+
+// Loss recovery schemes.
+const (
+	// RecoveryNewReno retransmits one hole per partial ACK and stays in
+	// fast recovery until the entire pre-loss window is acknowledged
+	// (RFC 3782). This is the default.
+	RecoveryNewReno RecoveryScheme = iota
+	// RecoveryReno exits fast recovery on the first partial ACK; a
+	// second loss in the same window usually costs an RTO.
+	RecoveryReno
+	// RecoveryTahoe collapses to one segment and slow starts after a
+	// fast retransmit.
+	RecoveryTahoe
+)
+
+// String returns the scheme name.
+func (r RecoveryScheme) String() string {
+	switch r {
+	case RecoveryNewReno:
+		return "NEWRENO"
+	case RecoveryReno:
+		return "RENO"
+	case RecoveryTahoe:
+		return "TAHOE"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// dupThreshold is the classic three-duplicate-ACK fast retransmit trigger.
+const dupThreshold = 3
+
+// maxBurst is the Linux cwnd-moderation burst allowance: on leaving fast
+// recovery with burstiness control enabled, cwnd is clamped to
+// packets-in-flight + maxBurst. This is the mechanism the paper cites for
+// why the window right after a *loss event* may sit far below
+// beta*w(tmo), making loss-event-based beta extraction unreliable
+// (Section IV-B).
+const maxBurst = 3
+
+// handleDupAck processes one duplicate ACK. It returns true when the ACK
+// triggered a fast retransmit. Duplicate ACKs below the recover point (the
+// highest sequence outstanding at the last loss event) never re-trigger a
+// fast retransmit, per RFC 3782's recover guard -- this is what forces
+// classic Reno to take an RTO for a second hole in the same window.
+func (s *Sender) handleDupAck(now time.Duration) bool {
+	s.frtoPending = false // a dup ACK always cancels F-RTO probing
+	if s.inRecovery || s.sndNxt == s.sndUna || s.sndUna < s.recover {
+		return false
+	}
+	s.dupAcks++
+	if s.dupAcks < dupThreshold {
+		return false
+	}
+	s.dupAcks = 0
+	s.enterFastRetransmit(now)
+	return true
+}
+
+// enterFastRetransmit applies the scheme's fast retransmit response.
+func (s *Sender) enterFastRetransmit(now time.Duration) {
+	s.conn.Now = now
+	s.conn.Ssthresh = s.alg.Ssthresh(s.conn)
+	s.conn.LossEvents++
+	s.retransmitNext = s.sndUna // retransmit the hole immediately
+	s.recover = s.sndNxt
+	switch s.opts.Recovery {
+	case RecoveryTahoe:
+		// Tahoe: same response as a timeout.
+		s.conn.Cwnd = 1
+		s.alg.OnTimeout(s.conn)
+		s.resend = s.sndUna
+		s.pipe = 0
+	default:
+		// Reno/NewReno: window continues from the new threshold.
+		s.conn.Cwnd = s.conn.Ssthresh
+		s.inRecovery = true
+		// The hole's worth of data has left the network.
+		if s.pipe > 0 {
+			s.pipe--
+		}
+	}
+}
+
+// onAdvanceInRecovery handles an ACK that advances snd_una during fast
+// recovery. prevUna is snd_una before the advance.
+func (s *Sender) onAdvanceInRecovery(ackSeg int64) {
+	s.dupAcks = 0
+	if ackSeg >= s.recover {
+		s.exitRecovery()
+		return
+	}
+	// Partial ACK: another segment from the pre-loss window was lost.
+	switch s.opts.Recovery {
+	case RecoveryNewReno:
+		// Retransmit the next hole and stay in recovery (RFC 3782).
+		s.retransmitNext = s.sndUna
+		if s.pipe > 0 {
+			s.pipe--
+		}
+	case RecoveryReno:
+		// Classic Reno deflates and leaves recovery; the remaining
+		// hole is usually recovered only by the RTO.
+		s.exitRecovery()
+	}
+}
+
+// exitRecovery ends fast recovery, applying Linux-style cwnd moderation
+// when burstiness control is enabled.
+func (s *Sender) exitRecovery() {
+	s.inRecovery = false
+	s.retransmitNext = -1
+	if s.opts.BurstinessControl {
+		inFlight := float64(s.sndNxt - s.sndUna)
+		if limit := inFlight + maxBurst; s.conn.Cwnd > limit {
+			s.conn.Cwnd = limit
+		}
+	}
+}

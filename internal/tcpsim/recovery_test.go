@@ -1,0 +1,227 @@
+package tcpsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cc"
+)
+
+// growTo drives s with clean in-order ACKs until a burst reaches target,
+// returning that burst and the current time.
+func growTo(t *testing.T, s *Sender, target int) ([]Segment, time.Duration) {
+	t.Helper()
+	now := time.Duration(0)
+	for r := int64(1); r < 32; r++ {
+		burst := s.SendBurst(now)
+		if len(burst) >= target {
+			return burst, now
+		}
+		if len(burst) == 0 {
+			t.Fatal("sender stalled")
+		}
+		s.BeginRound(r)
+		for _, seg := range burst {
+			s.DeliverAck(now+rtt, seg.ID+1, rtt)
+		}
+		now += rtt
+	}
+	t.Fatal("window never grew")
+	return nil, 0
+}
+
+// tripleDup delivers an advancing ACK up to hole, then three duplicates.
+func tripleDup(s *Sender, now time.Duration, hole int64, round int64) {
+	s.BeginRound(round)
+	s.DeliverAck(now, hole, rtt)
+	for i := 0; i < 3; i++ {
+		s.DeliverAck(now, hole, rtt)
+	}
+}
+
+func TestFastRetransmitNewReno(t *testing.T) {
+	s := newRenoSender(1<<20, Options{InitialWindow: 2})
+	burst, now := growTo(t, s, 16)
+	pre := s.Conn().Cwnd
+	hole := burst[1].ID
+	tripleDup(s, now+rtt, hole, 9)
+	if !s.InRecovery() {
+		t.Fatal("three dup ACKs must enter fast recovery")
+	}
+	if got := s.Conn().Ssthresh; got > pre/2+1 {
+		t.Fatalf("ssthresh = %v, want ~half of %v", got, pre)
+	}
+	// The hole goes out immediately, regardless of the window.
+	out := s.SendBurst(now + rtt)
+	if len(out) == 0 || out[0].ID != hole || !out[0].Retransmit {
+		t.Fatalf("expected fast retransmission of %d, got %+v", hole, out)
+	}
+}
+
+func TestFastRetransmitNeedsThreeDups(t *testing.T) {
+	s := newRenoSender(1<<20, Options{InitialWindow: 2})
+	burst, now := growTo(t, s, 16)
+	hole := burst[1].ID
+	s.BeginRound(9)
+	s.DeliverAck(now+rtt, hole, rtt)
+	s.DeliverAck(now+rtt, hole, rtt) // only two duplicates
+	s.DeliverAck(now+rtt, hole, rtt)
+	if s.InRecovery() {
+		t.Fatal("two dup ACKs must not trigger recovery")
+	}
+}
+
+func TestNewRenoPartialAckRetransmits(t *testing.T) {
+	s := newRenoSender(1<<20, Options{InitialWindow: 2})
+	burst, now := growTo(t, s, 16)
+	hole1, hole2 := burst[1].ID, burst[3].ID
+	tripleDup(s, now+rtt, hole1, 9)
+	s.SendBurst(now + rtt) // the retransmission of hole1
+	// Partial ACK: covers hole1 but not hole2.
+	s.BeginRound(10)
+	s.DeliverAck(now+2*rtt, hole2, rtt)
+	if !s.InRecovery() {
+		t.Fatal("NewReno must stay in recovery on a partial ACK")
+	}
+	out := s.SendBurst(now + 2*rtt)
+	if len(out) == 0 || out[0].ID != hole2 || !out[0].Retransmit {
+		t.Fatalf("expected retransmission of hole2 %d, got %+v", hole2, out)
+	}
+}
+
+func TestRenoExitsOnPartialAck(t *testing.T) {
+	s := New(cc.NewReno(), Options{TotalSegments: 1 << 20, MSS: 536, InitialWindow: 2, Recovery: RecoveryReno})
+	burst, now := growTo(t, s, 16)
+	hole1, hole2 := burst[1].ID, burst[3].ID
+	tripleDup(s, now+rtt, hole1, 9)
+	s.SendBurst(now + rtt)
+	s.BeginRound(10)
+	s.DeliverAck(now+2*rtt, hole2, rtt)
+	if s.InRecovery() {
+		t.Fatal("classic Reno leaves recovery on the first partial ACK")
+	}
+	// The recover guard forbids a second fast retransmit for hole2:
+	// further dup ACKs must not re-trigger.
+	for i := 0; i < 5; i++ {
+		s.DeliverAck(now+2*rtt, hole2, rtt)
+	}
+	if s.InRecovery() {
+		t.Fatal("dup ACKs below recover must not re-enter recovery")
+	}
+}
+
+func TestTahoeCollapsesToOne(t *testing.T) {
+	s := New(cc.NewReno(), Options{TotalSegments: 1 << 20, MSS: 536, InitialWindow: 2, Recovery: RecoveryTahoe})
+	burst, now := growTo(t, s, 16)
+	tripleDup(s, now+rtt, burst[1].ID, 9)
+	if s.Conn().Cwnd != 1 {
+		t.Fatalf("tahoe cwnd = %v, want 1", s.Conn().Cwnd)
+	}
+	if !s.Conn().InSlowStart() {
+		t.Fatal("tahoe must slow start after the fast retransmit")
+	}
+}
+
+func TestBurstinessControlModeratesCwnd(t *testing.T) {
+	mk := func(moderate bool) float64 {
+		s := New(cc.NewReno(), Options{
+			TotalSegments: 1 << 20, MSS: 536, InitialWindow: 2,
+			BurstinessControl: moderate,
+		})
+		burst, now := growTo(t, s, 16)
+		hole := burst[1].ID
+		tripleDup(s, now+rtt, hole, 9)
+		s.SendBurst(now + rtt) // retransmission
+		// Full ACK: everything (including the retransmission) arrived.
+		s.BeginRound(10)
+		s.DeliverAck(now+2*rtt, burst[len(burst)-1].ID+1, rtt)
+		return s.Conn().Cwnd
+	}
+	plain := mk(false)
+	moderated := mk(true)
+	if moderated >= plain {
+		t.Fatalf("moderated cwnd %v not below plain %v", moderated, plain)
+	}
+	if moderated > maxBurst+1 {
+		t.Fatalf("moderated cwnd = %v, want <= in-flight + %d", moderated, maxBurst)
+	}
+}
+
+func TestRTOClearsRecoveryState(t *testing.T) {
+	s := newRenoSender(1<<20, Options{InitialWindow: 2})
+	burst, now := growTo(t, s, 16)
+	tripleDup(s, now+rtt, burst[1].ID, 9)
+	if !s.InRecovery() {
+		t.Fatal("setup failed")
+	}
+	s.OnRTOExpired(now + 10*time.Second)
+	if s.InRecovery() {
+		t.Fatal("RTO must cancel fast recovery")
+	}
+}
+
+func TestSlowStartSchemeStrings(t *testing.T) {
+	if SlowStartStandard.String() != "STANDARD" ||
+		SlowStartLimited.String() != "LIMITED" ||
+		SlowStartHybrid.String() != "HYSTART" ||
+		SlowStartScheme(9).String() != "UNKNOWN" {
+		t.Fatal("scheme names wrong")
+	}
+}
+
+func TestLimitedSlowStartCapsGrowth(t *testing.T) {
+	s := New(cc.NewReno(), Options{
+		TotalSegments: 1 << 20, MSS: 536,
+		InitialWindow: 128, // already above the RFC 3742 threshold
+		SlowStart:     SlowStartLimited,
+	})
+	burst := s.SendBurst(0)
+	s.BeginRound(1)
+	for _, seg := range burst {
+		s.DeliverAck(rtt, seg.ID+1, rtt)
+	}
+	// Standard slow start would double to 256; RFC 3742 allows at most
+	// +50 per RTT above 100 packets.
+	if got := s.Conn().Cwnd; got > 128+51 {
+		t.Fatalf("limited slow start cwnd = %v, want <= 179", got)
+	}
+}
+
+func TestHyStartExitsOnDelayIncrease(t *testing.T) {
+	s := New(cc.NewReno(), Options{
+		TotalSegments: 1 << 20, MSS: 536, InitialWindow: 16,
+		SlowStart: SlowStartHybrid,
+	})
+	now := time.Duration(0)
+	rtts := []time.Duration{800 * time.Millisecond, 800 * time.Millisecond, time.Second, time.Second}
+	for r, sample := range rtts {
+		burst := s.SendBurst(now)
+		s.BeginRound(int64(r + 1))
+		for _, seg := range burst {
+			s.DeliverAck(now+sample, seg.ID+1, sample)
+		}
+		now += sample
+	}
+	// The 200ms delay increase at round 3 must have pulled ssthresh down
+	// to the then-current window.
+	if s.Conn().Ssthresh >= cc.InitialSsthresh {
+		t.Fatal("HyStart did not exit slow start on the delay increase")
+	}
+}
+
+func TestHyStartQuietUnderConstantRTT(t *testing.T) {
+	// The paper's claim: hybrid slow start behaves like standard slow
+	// start in CAAI's environments because the post-timeout RTT is
+	// constant.
+	s := New(cc.NewReno(), Options{
+		TotalSegments: 1 << 20, MSS: 536, InitialWindow: 2,
+		SlowStart: SlowStartHybrid,
+	})
+	burst, _ := growTo(t, s, 256) // pure doubling all the way
+	if len(burst) < 256 {
+		t.Fatal("growth interrupted")
+	}
+	if s.Conn().Ssthresh < cc.InitialSsthresh {
+		t.Fatal("HyStart fired under a constant RTT")
+	}
+}

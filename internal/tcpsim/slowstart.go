@@ -1,0 +1,98 @@
+package tcpsim
+
+import "time"
+
+// SlowStartScheme selects the slow start component (another Fig. 1
+// component). The paper notes that very few non-standard slow starts were
+// deployed, and that CUBIC's hybrid slow start behaves like the standard
+// one inside CAAI's emulated environments -- a claim the tests of this
+// package verify directly.
+type SlowStartScheme int
+
+// Slow start schemes.
+const (
+	// SlowStartStandard doubles per RTT below ssthresh (RFC 5681).
+	SlowStartStandard SlowStartScheme = iota
+	// SlowStartLimited caps growth above 100 packets to 50 packets per
+	// RTT (RFC 3742).
+	SlowStartLimited
+	// SlowStartHybrid is HyStart (Ha and Rhee 2008): standard doubling
+	// plus a delay-increase heuristic that exits slow start early when
+	// the per-round minimum RTT rises.
+	SlowStartHybrid
+)
+
+// String returns the scheme name.
+func (s SlowStartScheme) String() string {
+	switch s {
+	case SlowStartStandard:
+		return "STANDARD"
+	case SlowStartLimited:
+		return "LIMITED"
+	case SlowStartHybrid:
+		return "HYSTART"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// RFC 3742 limited slow start threshold.
+const limitedSSThreshold = 100.0
+
+// HyStart parameters from the kernel implementation.
+const (
+	hystartLowWindow = 16
+	hystartDelayMin  = 4 * time.Millisecond
+	hystartDelayMax  = 16 * time.Millisecond
+)
+
+// hystartState tracks the per-round minimum RTT for the delay-increase
+// heuristic. (The ACK-train heuristic never fires under CAAI's deferred
+// ACKs, which arrive as one instantaneous train.)
+type hystartState struct {
+	lastRound int64
+	lastMin   time.Duration
+	curMin    time.Duration
+}
+
+// applySlowStartScheme post-processes one ACK's window update. before is
+// the window before the congestion algorithm ran; the algorithm has
+// already applied the standard slow start increment when below ssthresh.
+func (s *Sender) applySlowStartScheme(before float64, rtt time.Duration) {
+	inSlowStart := before < s.conn.Ssthresh
+	switch s.opts.SlowStart {
+	case SlowStartLimited:
+		if inSlowStart && before > limitedSSThreshold && s.conn.Cwnd > before {
+			// Replace the exponential increment with the RFC 3742
+			// bound of max_ssthresh/2 packets per RTT.
+			s.conn.Cwnd = before + limitedSSThreshold/(2*before)
+		}
+	case SlowStartHybrid:
+		if !inSlowStart || rtt <= 0 {
+			return
+		}
+		h := &s.hystart
+		if s.conn.Round != h.lastRound {
+			if h.lastMin > 0 && h.curMin > 0 && s.conn.Cwnd >= hystartLowWindow {
+				eta := h.lastMin / 8
+				if eta < hystartDelayMin {
+					eta = hystartDelayMin
+				}
+				if eta > hystartDelayMax {
+					eta = hystartDelayMax
+				}
+				if h.curMin >= h.lastMin+eta {
+					// Delay increase detected: leave slow
+					// start at the current window.
+					s.conn.Ssthresh = s.conn.Cwnd
+				}
+			}
+			h.lastMin = h.curMin
+			h.curMin = 0
+			h.lastRound = s.conn.Round
+		}
+		if h.curMin == 0 || rtt < h.curMin {
+			h.curMin = rtt
+		}
+	}
+}

@@ -1,0 +1,237 @@
+// Package trace defines the window traces CAAI gathers (the paper's
+// Fig. 8): the per-RTT window sizes of a Web server before and after the
+// emulated timeout, the validity predicate, and the detectors for the four
+// special trace shapes of Section VII-B3.
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ValidPostRounds is how many post-timeout rounds a valid trace requires.
+const ValidPostRounds = 18
+
+// Trace is one gathered window trace of a Web server in one emulated
+// network environment.
+type Trace struct {
+	// Env is the emulated environment name ("A" or "B").
+	Env string
+	// WmaxThreshold is the window threshold that triggers the emulated
+	// timeout, in packets.
+	WmaxThreshold int
+	// MSS is the negotiated segment size in bytes.
+	MSS int
+	// Pre holds the measured windows of each emulated RTT before the
+	// timeout; the last entry is w(tmo) when TimedOut is true.
+	Pre []int
+	// Post holds the measured windows after the timeout. Leading zeros
+	// are retransmission rounds that advance no new sequence numbers.
+	Post []int
+	// TimedOut reports whether the window exceeded WmaxThreshold and the
+	// timeout was emulated.
+	TimedOut bool
+	// DataExhausted reports that the server ran out of page data before
+	// gathering completed (one of the paper's invalid-trace causes).
+	DataExhausted bool
+}
+
+// WTmo returns the window size just before the timeout, or 0 when no
+// timeout was emulated.
+func (t *Trace) WTmo() int {
+	if !t.TimedOut || len(t.Pre) == 0 {
+		return 0
+	}
+	return t.Pre[len(t.Pre)-1]
+}
+
+// MaxWindow returns the largest window observed anywhere in the trace.
+func (t *Trace) MaxWindow() int {
+	m := 0
+	for _, w := range t.Pre {
+		if w > m {
+			m = w
+		}
+	}
+	for _, w := range t.Post {
+		if w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+// Valid reports whether the trace satisfies the paper's validity
+// definition: a timeout was emulated, 18 RTTs of windows were gathered
+// after it, the server actually responded after the timeout, and the page
+// data lasted.
+func (t *Trace) Valid() bool {
+	if !t.TimedOut || t.DataExhausted || len(t.Post) < ValidPostRounds {
+		return false
+	}
+	for _, w := range t.Post {
+		if w > 0 {
+			return true // the server responded after the timeout
+		}
+	}
+	return false
+}
+
+// PostNonzero returns the post-timeout windows with leading
+// retransmission-round zeros stripped (w(f) onward in Fig. 8).
+func (t *Trace) PostNonzero() []int {
+	for i, w := range t.Post {
+		if w > 0 {
+			return t.Post[i:]
+		}
+	}
+	return nil
+}
+
+// String renders the trace compactly for logs and examples.
+func (t *Trace) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "env %s wmax=%d mss=%d pre=%v", t.Env, t.WmaxThreshold, t.MSS, t.Pre)
+	if t.TimedOut {
+		fmt.Fprintf(&b, " | timeout | post=%v", t.Post)
+	} else {
+		b.WriteString(" | no timeout")
+	}
+	return b.String()
+}
+
+// Special identifies the paper's special valid-trace shapes (Section
+// VII-B3, Figs. 14-17). Traces with a Special other than SpecialNone are
+// reported as-is instead of being classified by the random forest.
+type Special int
+
+// Special trace shapes.
+const (
+	// SpecialNone marks an ordinary trace.
+	SpecialNone Special = iota
+	// RemainingAtOne: the window stays at one packet after the timeout.
+	RemainingAtOne
+	// NonincreasingWindow: the window never grows in congestion
+	// avoidance.
+	NonincreasingWindow
+	// ApproachingWmax: the window increases quickly, then ever more
+	// slowly as it approaches w(tmo).
+	ApproachingWmax
+	// BoundedWindow: the window grows past the slow start threshold but
+	// is then pinned at some upper bound (e.g. the send buffer).
+	BoundedWindow
+)
+
+// String returns the paper's label for the special case.
+func (s Special) String() string {
+	switch s {
+	case SpecialNone:
+		return "None"
+	case RemainingAtOne:
+		return "Remaining at 1 Packet"
+	case NonincreasingWindow:
+		return "Nonincreasing Window"
+	case ApproachingWmax:
+		return "Approaching Wmax"
+	case BoundedWindow:
+		return "Bounded Window"
+	default:
+		return fmt.Sprintf("Special(%d)", int(s))
+	}
+}
+
+// minFlatRun is how many identical trailing windows count as "pinned".
+const minFlatRun = 5
+
+// DetectSpecial classifies a valid trace into one of the special shapes,
+// or SpecialNone for ordinary traces that should go to the random forest.
+func DetectSpecial(t *Trace) Special {
+	if !t.Valid() {
+		return SpecialNone
+	}
+	q := t.PostNonzero()
+	if len(q) < minFlatRun+1 {
+		return SpecialNone
+	}
+	maxW := 0
+	for _, w := range q {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if maxW <= 1 {
+		return RemainingAtOne
+	}
+
+	// Slow start ends at the first round that clearly stops doubling;
+	// the congestion avoidance region starts one round later (the
+	// transition round may be a partial, buffer-capped step).
+	ssExit := len(q) - 1
+	for i := 0; i+1 < len(q); i++ {
+		if float64(q[i+1]) < 1.7*float64(q[i]) {
+			ssExit = i
+			break
+		}
+	}
+	if ssExit+1 >= len(q) {
+		return SpecialNone
+	}
+	tail := q[ssExit+1:]
+	if len(tail) < minFlatRun {
+		return SpecialNone
+	}
+
+	if flatRun(tail) == len(tail) {
+		return NonincreasingWindow
+	}
+	if run := trailingFlatRun(tail); run >= minFlatRun && tail[len(tail)-1] > tail[0]+1 {
+		return BoundedWindow
+	}
+	if isApproaching(tail, t.WTmo()) {
+		return ApproachingWmax
+	}
+	return SpecialNone
+}
+
+// flatRun returns the length of the initial run of equal values.
+func flatRun(xs []int) int {
+	n := 1
+	for n < len(xs) && xs[n] == xs[0] {
+		n++
+	}
+	return n
+}
+
+// trailingFlatRun returns the length of the final run of equal values.
+func trailingFlatRun(xs []int) int {
+	last := xs[len(xs)-1]
+	n := 0
+	for i := len(xs) - 1; i >= 0 && xs[i] == last; i-- {
+		n++
+	}
+	return n
+}
+
+// isApproaching reports whether xs rises toward wTmo with shrinking
+// increments and ends within 10% of it without overshooting.
+func isApproaching(xs []int, wTmo int) bool {
+	if wTmo <= 0 || len(xs) < 4 {
+		return false
+	}
+	last := xs[len(xs)-1]
+	if float64(last) < 0.9*float64(wTmo) || float64(last) > 1.02*float64(wTmo) {
+		return false
+	}
+	firstInc := xs[1] - xs[0]
+	lastInc := xs[len(xs)-1] - xs[len(xs)-2]
+	if firstInc <= 0 {
+		return false
+	}
+	// Increments must shrink substantially and never be negative.
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[i-1] {
+			return false
+		}
+	}
+	return lastInc*3 <= firstInc
+}

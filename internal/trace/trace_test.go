@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// valid18 builds a valid post-timeout sequence of exactly 18 windows.
+func valid18(shape func(i int) int) []int {
+	out := make([]int, 18)
+	for i := range out {
+		out[i] = shape(i)
+	}
+	return out
+}
+
+func renoLike() *Trace {
+	return &Trace{
+		Env:           "A",
+		WmaxThreshold: 256,
+		MSS:           536,
+		Pre:           []int{4, 8, 16, 32, 64, 128, 256, 512},
+		Post:          []int{0, 2, 4, 8, 16, 32, 64, 128, 256, 256, 257, 258, 259, 260, 261, 262, 263, 264},
+		TimedOut:      true,
+	}
+}
+
+func TestWTmo(t *testing.T) {
+	tr := renoLike()
+	if got := tr.WTmo(); got != 512 {
+		t.Fatalf("WTmo = %d, want 512", got)
+	}
+	tr.TimedOut = false
+	if got := tr.WTmo(); got != 0 {
+		t.Fatalf("WTmo without timeout = %d, want 0", got)
+	}
+}
+
+func TestMaxWindow(t *testing.T) {
+	tr := renoLike()
+	if got := tr.MaxWindow(); got != 512 {
+		t.Fatalf("MaxWindow = %d", got)
+	}
+}
+
+func TestValid(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Trace)
+		want   bool
+	}{
+		{"ordinary", func(*Trace) {}, true},
+		{"no timeout", func(tr *Trace) { tr.TimedOut = false }, false},
+		{"data exhausted", func(tr *Trace) { tr.DataExhausted = true }, false},
+		{"short post", func(tr *Trace) { tr.Post = tr.Post[:10] }, false},
+		{"silent server", func(tr *Trace) {
+			for i := range tr.Post {
+				tr.Post[i] = 0
+			}
+		}, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := renoLike()
+			tc.mutate(tr)
+			if got := tr.Valid(); got != tc.want {
+				t.Fatalf("Valid = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestPostNonzero(t *testing.T) {
+	tr := renoLike()
+	q := tr.PostNonzero()
+	if len(q) != 17 || q[0] != 2 {
+		t.Fatalf("PostNonzero = %v", q)
+	}
+	empty := &Trace{Post: []int{0, 0, 0}}
+	if got := empty.PostNonzero(); got != nil {
+		t.Fatalf("all-zero PostNonzero = %v", got)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	tr := renoLike()
+	s := tr.String()
+	if !strings.Contains(s, "timeout") || !strings.Contains(s, "env A") {
+		t.Fatalf("String = %q", s)
+	}
+	tr.TimedOut = false
+	if !strings.Contains(tr.String(), "no timeout") {
+		t.Fatal("no-timeout rendering missing")
+	}
+}
+
+func TestDetectSpecialNoneOnOrdinary(t *testing.T) {
+	if got := DetectSpecial(renoLike()); got != SpecialNone {
+		t.Fatalf("RENO trace detected as %v", got)
+	}
+}
+
+func TestDetectRemainingAtOne(t *testing.T) {
+	tr := renoLike()
+	tr.Post = valid18(func(i int) int {
+		if i == 0 {
+			return 0
+		}
+		return 1
+	})
+	if got := DetectSpecial(tr); got != RemainingAtOne {
+		t.Fatalf("got %v, want RemainingAtOne", got)
+	}
+}
+
+func TestDetectNonincreasing(t *testing.T) {
+	tr := renoLike()
+	// Slow start to 90 then pinned flat (small send buffer).
+	tr.Post = []int{0, 2, 4, 8, 16, 32, 64, 90, 90, 90, 90, 90, 90, 90, 90, 90, 90, 90}
+	if got := DetectSpecial(tr); got != NonincreasingWindow {
+		t.Fatalf("got %v, want NonincreasingWindow", got)
+	}
+}
+
+func TestDetectBounded(t *testing.T) {
+	tr := renoLike()
+	// Slow start to 64, growth past it, then a hard ceiling at 100.
+	tr.Post = []int{0, 2, 4, 8, 16, 32, 64, 70, 76, 82, 88, 94, 100, 100, 100, 100, 100, 100}
+	if got := DetectSpecial(tr); got != BoundedWindow {
+		t.Fatalf("got %v, want BoundedWindow", got)
+	}
+}
+
+func TestDetectApproaching(t *testing.T) {
+	tr := renoLike()
+	// Exponential approach from 256 to ~512.
+	tr.Post = []int{0, 2, 4, 8, 16, 32, 64, 128, 256, 332, 387, 424, 450, 468, 482, 492, 500, 505}
+	if got := DetectSpecial(tr); got != ApproachingWmax {
+		t.Fatalf("got %v, want ApproachingWmax", got)
+	}
+}
+
+func TestDetectSpecialInvalidTrace(t *testing.T) {
+	tr := renoLike()
+	tr.TimedOut = false
+	if got := DetectSpecial(tr); got != SpecialNone {
+		t.Fatalf("invalid trace detected as %v", got)
+	}
+}
+
+func TestSpecialString(t *testing.T) {
+	for sp, want := range map[Special]string{
+		SpecialNone:         "None",
+		RemainingAtOne:      "Remaining at 1 Packet",
+		NonincreasingWindow: "Nonincreasing Window",
+		ApproachingWmax:     "Approaching Wmax",
+		BoundedWindow:       "Bounded Window",
+	} {
+		if got := sp.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", sp, got, want)
+		}
+	}
+	if Special(42).String() == "" {
+		t.Fatal("unknown special must render")
+	}
+}
+
+// TestDetectSpecialNotFooledByNoise: mild ACK-loss plateaus in an ordinary
+// trace must not read as special shapes.
+func TestDetectSpecialNotFooledByNoise(t *testing.T) {
+	tr := renoLike()
+	// RENO under ~50% ACK loss: increments of ~0.5/round.
+	tr.Post = []int{0, 2, 3, 6, 11, 21, 40, 77, 148, 256, 256, 257, 257, 258, 258, 259, 259, 260}
+	if got := DetectSpecial(tr); got != SpecialNone {
+		t.Fatalf("lossy RENO detected as %v", got)
+	}
+}
