@@ -13,6 +13,8 @@ import (
 	"testing"
 
 	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/feature"
 	"repro/internal/forest"
@@ -358,4 +360,36 @@ func BenchmarkAlgorithmOnAck(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkIdentifyBatch measures the batch identification engine: many
+// (server, condition) jobs through a pretrained model on the bounded
+// worker pool, the production train-once/identify-many hot path.
+func BenchmarkIdentifyBatch(b *testing.B) {
+	ctx := benchCtx(b)
+	model, err := ctx.Model()
+	if err != nil {
+		b.Fatal(err)
+	}
+	id := core.NewIdentifier(model)
+	rng := rand.New(rand.NewSource(77))
+	db := netem.MeasuredDatabase()
+	jobs := make([]engine.Job, 64)
+	names := cc.CAAINames()
+	for i := range jobs {
+		jobs[i] = engine.Job{Server: websim.Testbed(names[i%len(names)]), Cond: db.Sample(rng)}
+	}
+	b.ResetTimer()
+	var valid int
+	for i := 0; i < b.N; i++ {
+		results := engine.IdentifyBatch[core.Identification](id, jobs, engine.BatchConfig[core.Identification]{Seed: int64(i)})
+		valid = 0
+		for _, r := range results {
+			if r.Out.Valid {
+				valid++
+			}
+		}
+	}
+	b.ReportMetric(float64(valid)/float64(len(jobs))*100, "valid-%")
+	b.ReportMetric(float64(len(jobs)), "jobs/op")
 }

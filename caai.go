@@ -13,10 +13,18 @@
 //   - internal/probe: CAAI step 1 (trace gathering in emulated network
 //     environments A and B).
 //   - internal/feature: CAAI step 2 (feature extraction).
-//   - internal/forest: CAAI step 3 (random forest classification).
+//   - internal/classify: the pluggable classifier abstraction of CAAI
+//     step 3, plus model persistence (save a trained model once, load it
+//     everywhere).
+//   - internal/forest: the paper's random forest backend.
+//   - internal/ml: the Weka-comparison backends (kNN, naive Bayes,
+//     decision tree, neural net, linear SVM), all behind the same
+//     Classifier interface.
+//   - internal/engine: the bounded worker-pool execution layer used for
+//     training-set generation, batched identification, and the census.
 //   - internal/census: the 63 124-server measurement study.
 //
-// Quick start:
+// Quick start (train, identify one server):
 //
 //	id, err := caai.Train(caai.TrainingOptions{ConditionsPerPair: 25})
 //	if err != nil { ... }
@@ -24,16 +32,35 @@
 //	rng := rand.New(rand.NewSource(1))
 //	result := id.Identify(server, caai.LosslessCondition(), rng)
 //	fmt.Println(result) // CUBIC2 (confidence 98%, wmax=512, mss=100)
+//
+// Train once, identify many (the production flow):
+//
+//	id, _ := caai.Train(caai.TrainingOptions{ConditionsPerPair: 100})
+//	_ = id.SaveModel("caai-model.json")
+//	...
+//	id, _ = caai.LoadModel("caai-model.json") // no retraining
+//	jobs := []caai.BatchJob{{Server: s1, Cond: c1}, {Server: s2, Cond: c2}}
+//	for _, r := range id.IdentifyBatch(jobs, caai.BatchOptions{}) {
+//		fmt.Println(r.Out)
+//	}
+//
+// Alternative classifier backends (the paper's Weka comparison):
+//
+//	id, _ := caai.TrainWithClassifier(caai.TrainingOptions{}, "knn")
 package caai
 
 import (
+	"fmt"
 	"math/rand"
 	"time"
 
 	"repro/internal/cc"
+	"repro/internal/classify"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/feature"
 	"repro/internal/forest"
+	"repro/internal/ml"
 	"repro/internal/netem"
 	"repro/internal/probe"
 	"repro/internal/trace"
@@ -60,6 +87,17 @@ type (
 	Algorithm = cc.Algorithm
 	// Conn is the congestion state an Algorithm manipulates.
 	Conn = cc.Conn
+	// Classifier is the pluggable classification backend interface; any
+	// implementation can drive the pipeline (see TrainWithClassifier).
+	Classifier = classify.Classifier
+	// BatchJob is one (server, condition) identification request for
+	// IdentifyBatch. A zero Seed derives a per-job seed deterministically.
+	BatchJob = engine.Job
+	// BatchResult pairs a BatchJob with its Identification.
+	BatchResult = engine.Result[core.Identification]
+	// BatchOptions tunes IdentifyBatch (parallelism, probe config, seed,
+	// and an optional streaming OnResult callback).
+	BatchOptions = engine.BatchConfig[core.Identification]
 )
 
 // Labels re-exported from the pipeline.
@@ -76,26 +114,28 @@ type TrainingOptions struct {
 	// per (algorithm, wmax) pair; the paper uses 100 (5600 vectors).
 	ConditionsPerPair int
 	// Trees and Subspace are the random forest parameters K and F
-	// (paper: 80 and 4).
+	// (paper: 80 and 4), honored by Train and TrainWithClassifier's
+	// forest backend; the non-forest backends ignore them.
 	Trees    int
 	Subspace int
 	// Seed makes training deterministic.
 	Seed int64
+	// Parallelism bounds concurrent trace gathering on the worker pool;
+	// 0 uses all CPUs.
+	Parallelism int
 }
 
 // Identifier is a trained CAAI instance. Safe for concurrent use.
 type Identifier struct {
 	core    *core.Identifier
+	model   classify.Classifier
 	dataset *forest.Dataset
 }
 
 // Train builds the training set on the emulated testbed and trains the
-// random forest, returning a ready-to-use identifier.
+// paper's random forest, returning a ready-to-use identifier.
 func Train(opts TrainingOptions) (*Identifier, error) {
-	ds, err := core.GenerateTrainingSet(netem.MeasuredDatabase(), core.TrainingConfig{
-		ConditionsPerPair: opts.ConditionsPerPair,
-		Seed:              opts.Seed,
-	})
+	ds, err := generateTrainingSet(opts)
 	if err != nil {
 		return nil, err
 	}
@@ -104,12 +144,47 @@ func Train(opts TrainingOptions) (*Identifier, error) {
 		Subspace: opts.Subspace,
 		Seed:     opts.Seed + 1,
 	})
-	return &Identifier{core: core.NewIdentifier(model), dataset: ds}, nil
+	return newIdentifier(model, ds), nil
+}
+
+// TrainWithClassifier is Train with a pluggable backend: "randomforest"
+// (the paper's choice), "knn", "naivebayes", "decisiontree", "neuralnet",
+// or "linearsvm" (short aliases like "forest", "bayes", "tree", "mlp",
+// "svm" also work). Only the random forest backend supports SaveModel.
+func TrainWithClassifier(opts TrainingOptions, backend string) (*Identifier, error) {
+	ds, err := generateTrainingSet(opts)
+	if err != nil {
+		return nil, err
+	}
+	model, err := ml.NewByName(backend, ds, ml.Params{
+		Seed:     opts.Seed + 1,
+		Trees:    opts.Trees,
+		Subspace: opts.Subspace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return newIdentifier(model, ds), nil
+}
+
+// ClassifierBackends lists the backend names TrainWithClassifier accepts.
+func ClassifierBackends() []string { return ml.Backends() }
+
+func generateTrainingSet(opts TrainingOptions) (*forest.Dataset, error) {
+	return core.GenerateTrainingSet(netem.MeasuredDatabase(), core.TrainingConfig{
+		ConditionsPerPair: opts.ConditionsPerPair,
+		Seed:              opts.Seed,
+		Parallelism:       opts.Parallelism,
+	})
+}
+
+func newIdentifier(model classify.Classifier, ds *forest.Dataset) *Identifier {
+	return &Identifier{core: core.NewIdentifier(model), model: model, dataset: ds}
 }
 
 // Identify runs the full CAAI pipeline against server under cond: ladder
 // probing in environments A and B, feature extraction, special-case
-// detection, and random forest classification with the Unsure rule.
+// detection, and classification with the Unsure rule.
 func (id *Identifier) Identify(server *Server, cond Condition, rng *rand.Rand) Identification {
 	return id.core.Identify(server, cond, ProbeConfig{}, rng)
 }
@@ -119,7 +194,41 @@ func (id *Identifier) IdentifyWithConfig(server *Server, cond Condition, cfg Pro
 	return id.core.Identify(server, cond, cfg, rng)
 }
 
-// TrainingSet exposes the generated training vectors.
+// IdentifyBatch probes every job on a bounded worker pool and returns the
+// identifications in input order. Results are deterministic for a fixed
+// (jobs, opts.Seed) regardless of opts.Parallelism; set opts.OnResult to
+// stream results as probes complete.
+func (id *Identifier) IdentifyBatch(jobs []BatchJob, opts BatchOptions) []BatchResult {
+	return engine.IdentifyBatch[core.Identification](id.core, jobs, opts)
+}
+
+// SaveModel writes the trained model to path so later runs can LoadModel
+// instead of retraining. The backend must have a registered persistence
+// codec (the random forest does).
+func (id *Identifier) SaveModel(path string) error {
+	if err := classify.SaveFile(path, id.model); err != nil {
+		return fmt.Errorf("caai: saving model: %w", err)
+	}
+	return nil
+}
+
+// LoadModel reads a model saved with SaveModel and returns a ready
+// identifier without regenerating the training set. The loaded model
+// reproduces the saved model's classifications exactly. TrainingSet
+// returns nil on a loaded identifier.
+func LoadModel(path string) (*Identifier, error) {
+	model, err := classify.LoadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("caai: loading model: %w", err)
+	}
+	return newIdentifier(model, nil), nil
+}
+
+// Classifier exposes the trained classification backend.
+func (id *Identifier) Classifier() Classifier { return id.model }
+
+// TrainingSet exposes the generated training vectors (nil for identifiers
+// restored with LoadModel).
 func (id *Identifier) TrainingSet() *forest.Dataset { return id.dataset }
 
 // Algorithms lists the 14 supported congestion avoidance algorithms.

@@ -2,6 +2,7 @@ package caai
 
 import (
 	"math/rand"
+	"path/filepath"
 	"testing"
 	"time"
 )
@@ -90,5 +91,125 @@ func TestTrainingSetExposed(t *testing.T) {
 func TestDefaultInterEnvWait(t *testing.T) {
 	if DefaultInterEnvWait != 10*time.Minute {
 		t.Fatal("paper wait changed")
+	}
+}
+
+func TestSaveLoadModelRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive")
+	}
+	id := identifier(t)
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := id.SaveModel(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.TrainingSet() != nil {
+		t.Fatal("loaded identifier should not carry a training set")
+	}
+	// The loaded model must reproduce the in-memory model's labels
+	// exactly on a deterministic server set.
+	for i, alg := range Algorithms() {
+		server := NewTestbedServer(alg)
+		want := id.Identify(server, LosslessCondition(), rand.New(rand.NewSource(int64(i))))
+		got := loaded.Identify(server, LosslessCondition(), rand.New(rand.NewSource(int64(i))))
+		if got.Label != want.Label || got.Confidence != want.Confidence {
+			t.Errorf("%s: loaded model says %s/%v, in-memory says %s/%v",
+				alg, got.Label, got.Confidence, want.Label, want.Confidence)
+		}
+	}
+}
+
+func TestLoadModelMissingFile(t *testing.T) {
+	if _, err := LoadModel(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestIdentifyBatchMatchesSingleAndIsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive")
+	}
+	id := identifier(t)
+	algs := []string{"CUBIC2", "BIC", "STCP", "RENO", "VEGAS", "HTCP"}
+	jobs := make([]BatchJob, len(algs))
+	for i, alg := range algs {
+		jobs[i] = BatchJob{Server: NewTestbedServer(alg), Cond: LosslessCondition(), Seed: int64(100 + i)}
+	}
+	serial := id.IdentifyBatch(jobs, BatchOptions{Parallelism: 1, Seed: 7})
+	parallel := id.IdentifyBatch(jobs, BatchOptions{Parallelism: 4, Seed: 7})
+	for i := range jobs {
+		if serial[i].Out.Label != parallel[i].Out.Label || serial[i].Out.Confidence != parallel[i].Out.Confidence {
+			t.Errorf("job %d: parallelism changed the result (%s vs %s)",
+				i, serial[i].Out.Label, parallel[i].Out.Label)
+		}
+		want := id.Identify(NewTestbedServer(algs[i]), LosslessCondition(), rand.New(rand.NewSource(int64(100+i))))
+		if serial[i].Out.Label != want.Label {
+			t.Errorf("job %d: batch says %s, single-shot says %s", i, serial[i].Out.Label, want.Label)
+		}
+	}
+}
+
+func TestIdentifyBatchStreaming(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive")
+	}
+	id := identifier(t)
+	jobs := []BatchJob{
+		{Server: NewTestbedServer("BIC"), Cond: LosslessCondition()},
+		{Server: NewTestbedServer("CUBIC2"), Cond: LosslessCondition()},
+	}
+	streamed := 0
+	id.IdentifyBatch(jobs, BatchOptions{
+		Parallelism: 2,
+		Seed:        3,
+		OnResult:    func(BatchResult) { streamed++ },
+	})
+	if streamed != len(jobs) {
+		t.Fatalf("streamed %d results, want %d", streamed, len(jobs))
+	}
+}
+
+func TestTrainWithClassifierBackends(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive")
+	}
+	// kNN memorizes the training set, so on the lossless testbed it
+	// should still recognize an easy, distinctive algorithm.
+	id, err := TrainWithClassifier(TrainingOptions{ConditionsPerPair: 4, Seed: 31}, "knn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.Classifier().Name() != "kNN" {
+		t.Fatalf("backend = %s", id.Classifier().Name())
+	}
+	got := id.Identify(NewTestbedServer("VEGAS"), LosslessCondition(), rand.New(rand.NewSource(2)))
+	if !got.Valid {
+		t.Fatalf("invalid: %s", got.Reason)
+	}
+	if got.Label != "VEGAS" {
+		t.Errorf("kNN identified VEGAS as %s", got.Label)
+	}
+
+	if _, err := TrainWithClassifier(TrainingOptions{ConditionsPerPair: 1}, "quantum"); err == nil {
+		t.Fatal("expected error for unknown backend")
+	}
+}
+
+func TestClassifierBackendsListed(t *testing.T) {
+	backends := ClassifierBackends()
+	want := map[string]bool{"randomforest": false, "knn": false, "naivebayes": false, "decisiontree": false, "neuralnet": false, "linearsvm": false}
+	for _, b := range backends {
+		if _, ok := want[b]; ok {
+			want[b] = true
+		}
+	}
+	for b, seen := range want {
+		if !seen {
+			t.Errorf("backend %s missing from %v", b, backends)
+		}
 	}
 }

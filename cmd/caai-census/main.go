@@ -1,10 +1,12 @@
 // Command caai-census reproduces the paper's Internet measurement: it
 // generates the synthetic population of Web servers, probes every one with
-// the CAAI ladder, and prints Table IV.
+// the CAAI ladder, and prints Table IV. With -model it loads a model saved
+// by caai-train -save and skips retraining entirely.
 //
 // Usage:
 //
 //	caai-census -servers 63124 -conditions 100
+//	caai-census -servers 63124 -model model.json
 package main
 
 import (
@@ -12,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/classify"
 	"repro/internal/experiments"
 )
 
@@ -26,6 +29,7 @@ func run() error {
 	servers := flag.Int("servers", 63124, "population size")
 	conditions := flag.Int("conditions", 100, "training conditions per (algorithm, wmax) pair")
 	seed := flag.Int64("seed", 2011, "random seed")
+	model := flag.String("model", "", "load a saved model instead of retraining (see caai-train -save)")
 	flag.Parse()
 
 	ctx := experiments.NewContext()
@@ -33,7 +37,16 @@ func run() error {
 	ctx.TrainingConditions = *conditions
 	ctx.Seed = *seed
 
-	fmt.Printf("training CAAI (%d conditions per pair), then probing %d servers...\n\n", *conditions, *servers)
+	if *model != "" {
+		c, err := classify.LoadFile(*model)
+		if err != nil {
+			return err
+		}
+		ctx.UseModel(c)
+		fmt.Printf("loaded %s model from %s, probing %d servers...\n\n", c.Name(), *model, *servers)
+	} else {
+		fmt.Printf("training CAAI (%d conditions per pair), then probing %d servers...\n\n", *conditions, *servers)
+	}
 	t4, err := experiments.TableIV(ctx)
 	if err != nil {
 		return err

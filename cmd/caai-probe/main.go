@@ -1,10 +1,14 @@
 // Command caai-probe runs the CAAI pipeline against one simulated Web
 // server and prints the gathered traces, the extracted feature vector, and
-// the classification.
+// the classification. With -model it loads a model saved by caai-train
+// -save instead of retraining; -classifier selects an alternative backend
+// (knn, naivebayes, decisiontree, neuralnet, linearsvm).
 //
 // Usage:
 //
 //	caai-probe -algorithm CUBIC2 -loss 0.01 -conditions 25
+//	caai-probe -algorithm BIC -model model.json
+//	caai-probe -algorithm STCP -classifier knn
 package main
 
 import (
@@ -31,12 +35,33 @@ func run() error {
 	rttStddev := flag.Duration("jitter", 0, "path RTT standard deviation")
 	conditions := flag.Int("conditions", 25, "training conditions per (algorithm, wmax) pair")
 	seed := flag.Int64("seed", 1, "random seed")
+	model := flag.String("model", "", "load a saved model instead of retraining (see caai-train -save)")
+	backend := flag.String("classifier", "randomforest", "classifier backend ("+strings.Join(caai.ClassifierBackends(), ", ")+")")
 	flag.Parse()
 
-	fmt.Printf("training CAAI (%d conditions per pair)...\n", *conditions)
-	id, err := caai.Train(caai.TrainingOptions{ConditionsPerPair: *conditions, Seed: *seed})
-	if err != nil {
-		return err
+	var id *caai.Identifier
+	var err error
+	if *model != "" {
+		classifierSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "classifier" {
+				classifierSet = true
+			}
+		})
+		if classifierSet {
+			return fmt.Errorf("-model and -classifier are mutually exclusive: a loaded model already fixes the backend")
+		}
+		id, err = caai.LoadModel(*model)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded %s model from %s\n", id.Classifier().Name(), *model)
+	} else {
+		fmt.Printf("training CAAI %s (%d conditions per pair)...\n", *backend, *conditions)
+		id, err = caai.TrainWithClassifier(caai.TrainingOptions{ConditionsPerPair: *conditions, Seed: *seed}, *backend)
+		if err != nil {
+			return err
+		}
 	}
 
 	server := caai.NewTestbedServer(*algorithm)

@@ -1,11 +1,13 @@
 // Command caai-train generates the CAAI training set, cross-validates the
-// random forest (the paper's Table III), and optionally sweeps the forest
-// parameters (Fig. 12).
+// random forest (the paper's Table III), optionally sweeps the forest
+// parameters (Fig. 12), and can persist the trained model so caai-census
+// and caai-probe identify without retraining.
 //
 // Usage:
 //
 //	caai-train -conditions 100 -folds 10          # Table III
 //	caai-train -conditions 50 -sweep              # Fig. 12 parameter sweep
+//	caai-train -conditions 100 -save model.json   # train once, reuse everywhere
 package main
 
 import (
@@ -13,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/classify"
 	"repro/internal/experiments"
 )
 
@@ -28,6 +31,7 @@ func run() error {
 	folds := flag.Int("folds", 10, "cross-validation folds")
 	seed := flag.Int64("seed", 2011, "random seed")
 	sweep := flag.Bool("sweep", false, "also sweep K and F (Fig. 12)")
+	save := flag.String("save", "", "write the trained model to this path")
 	flag.Parse()
 
 	ctx := experiments.NewContext()
@@ -60,5 +64,16 @@ func run() error {
 		return err
 	}
 	fmt.Println(cmp)
+
+	if *save != "" {
+		model, err := ctx.Model()
+		if err != nil {
+			return err
+		}
+		if err := classify.SaveFile(*save, model); err != nil {
+			return err
+		}
+		fmt.Printf("saved trained %s model to %s\n", model.Name(), *save)
+	}
 	return nil
 }

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
+	"path/filepath"
 
 	caai "repro"
 )
@@ -41,5 +43,26 @@ func main() {
 	if valid {
 		fmt.Printf("\nraw trace (env A, wmax=%d):\n  %s\n", wmax, ta)
 		fmt.Printf("raw trace (env B):\n  %s\n", tb)
+	}
+
+	// Production flow: persist the trained model and identify a whole
+	// fleet in one batched call on the worker pool -- no retraining.
+	path := filepath.Join(os.TempDir(), "caai-quickstart-model.json")
+	if err := id.SaveModel(path); err != nil {
+		log.Fatal(err)
+	}
+	defer os.Remove(path)
+	loaded, err := caai.LoadModel(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreloaded %s model from %s\n", loaded.Classifier().Name(), path)
+
+	jobs := make([]caai.BatchJob, 0, 6)
+	for _, alg := range []string{"RENO", "BIC", "CUBIC2", "STCP", "VEGAS", "HTCP"} {
+		jobs = append(jobs, caai.BatchJob{Server: caai.NewTestbedServer(alg), Cond: caai.LosslessCondition()})
+	}
+	for _, r := range loaded.IdentifyBatch(jobs, caai.BatchOptions{Seed: 9}) {
+		fmt.Printf("  %-10s -> %s\n", r.Job.Server.Name, r.Out)
 	}
 }

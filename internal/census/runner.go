@@ -3,12 +3,11 @@ package census
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/netem"
 	"repro/internal/probe"
 	"repro/internal/trace"
@@ -136,27 +135,16 @@ func ShareBy(population []GroundTruth, key func(GroundTruth) string) map[string]
 	return out
 }
 
-// Run probes every server in the population and aggregates Table IV.
+// Run probes every server in the population on the engine's worker pool
+// and aggregates Table IV.
 func Run(population []GroundTruth, id *core.Identifier, db *netem.Database, cfg RunConfig) *Report {
-	if cfg.Parallelism <= 0 {
-		cfg.Parallelism = runtime.GOMAXPROCS(0)
-	}
 	outcomes := make([]Outcome, len(population))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.Parallelism)
-	for i := range population {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*6700417))
-			cond := db.Sample(rng)
-			ident := id.Identify(population[i].Server, cond, cfg.Probe, rng)
-			outcomes[i] = Outcome{Truth: population[i], ID: ident}
-		}(i)
-	}
-	wg.Wait()
+	engine.Run(len(population), cfg.Parallelism, func(i int) {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*6700417))
+		cond := db.Sample(rng)
+		ident := id.Identify(population[i].Server, cond, cfg.Probe, rng)
+		outcomes[i] = Outcome{Truth: population[i], ID: ident}
+	})
 	return aggregate(outcomes)
 }
 

@@ -10,11 +10,12 @@ package core
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
-	"sync"
+	"sort"
 	"time"
 
 	"repro/internal/cc"
+	"repro/internal/classify"
+	"repro/internal/engine"
 	"repro/internal/feature"
 	"repro/internal/forest"
 	"repro/internal/netem"
@@ -87,9 +88,6 @@ func (c TrainingConfig) withDefaults() TrainingConfig {
 	if len(c.Algorithms) == 0 {
 		c.Algorithms = cc.CAAINames()
 	}
-	if c.Parallelism <= 0 {
-		c.Parallelism = runtime.GOMAXPROCS(0)
-	}
 	return c
 }
 
@@ -119,48 +117,75 @@ func GatherPair(server *websim.Server, cond netem.Condition, wmax, mss int, cfg 
 // GenerateTrainingSet emulates the paper's testbed data collection: for
 // each (algorithm, wmax) pair it draws ConditionsPerPair network
 // conditions from db and gathers one feature vector each. Invalid
-// gatherings are retried with fresh conditions a few times.
+// gatherings are retried with fresh conditions a few times; jobs that
+// still fail are dropped rather than polluting the set with zero vectors
+// under a real algorithm label. It errors when every job failed.
 func GenerateTrainingSet(db *netem.Database, cfg TrainingConfig) (*forest.Dataset, error) {
 	cfg = cfg.withDefaults()
 	type job struct {
 		alg  string
 		wmax int
-		i    int
 	}
 	var jobs []job
 	for _, alg := range cfg.Algorithms {
 		for _, wmax := range cfg.WmaxValues {
 			for i := 0; i < cfg.ConditionsPerPair; i++ {
-				jobs = append(jobs, job{alg, wmax, i})
+				jobs = append(jobs, job{alg, wmax})
 			}
 		}
 	}
 	samples := make([]forest.Sample, len(jobs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.Parallelism)
-	for j, jb := range jobs {
-		wg.Add(1)
-		go func(j int, jb job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			seed := cfg.Seed + int64(j)*1_000_003
-			rng := rand.New(rand.NewSource(seed))
-			var vec feature.Vector
-			ok := false
-			for attempt := 0; attempt < 8 && !ok; attempt++ {
-				cond := db.Sample(rng)
-				server := websim.Testbed(jb.alg)
-				vec, ok = GatherPair(server, cond, jb.wmax, cfg.MSS, cfg.Probe, rng)
-			}
-			samples[j] = forest.Sample{
-				Features: vec.Slice(),
-				Label:    TrainingLabel(jb.alg, jb.wmax),
-			}
-		}(j, jb)
+	valid := make([]bool, len(jobs))
+	engine.Run(len(jobs), cfg.Parallelism, func(j int) {
+		jb := jobs[j]
+		seed := cfg.Seed + int64(j)*1_000_003
+		rng := rand.New(rand.NewSource(seed))
+		var vec feature.Vector
+		ok := false
+		for attempt := 0; attempt < 8 && !ok; attempt++ {
+			cond := db.Sample(rng)
+			server := websim.Testbed(jb.alg)
+			vec, ok = GatherPair(server, cond, jb.wmax, cfg.MSS, cfg.Probe, rng)
+		}
+		if !ok {
+			return // leave valid[j] false: no vector was gathered
+		}
+		valid[j] = true
+		samples[j] = forest.Sample{
+			Features: vec.Slice(),
+			Label:    TrainingLabel(jb.alg, jb.wmax),
+		}
+	})
+	kept := samples[:0]
+	have := map[string]bool{}
+	for j, s := range samples {
+		if valid[j] {
+			kept = append(kept, s)
+			have[s.Label] = true
+		}
 	}
-	wg.Wait()
-	return forest.NewDataset(samples)
+	if len(kept) == 0 {
+		return nil, fmt.Errorf("core: no valid training samples in %d gathering jobs", len(jobs))
+	}
+	// A label with zero valid samples would train a classifier that can
+	// never predict it; surface the gap instead of shipping it silently.
+	var missing []string
+	seen := map[string]bool{}
+	for _, alg := range cfg.Algorithms {
+		for _, wmax := range cfg.WmaxValues {
+			label := TrainingLabel(alg, wmax)
+			if !have[label] && !seen[label] {
+				seen[label] = true
+				missing = append(missing, label)
+			}
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return nil, fmt.Errorf("core: every gathering failed for labels %v (%d of %d jobs dropped)",
+			missing, len(jobs)-len(kept), len(jobs))
+	}
+	return forest.NewDataset(kept)
 }
 
 // Identification is the outcome of identifying one Web server.
@@ -198,17 +223,19 @@ func (id Identification) String() string {
 	}
 }
 
-// Identifier classifies Web servers from gathered traces using a trained
-// random forest. Safe for concurrent use.
+// Identifier classifies Web servers from gathered traces using any
+// trained classifier backend (the paper's random forest by default). Safe
+// for concurrent use when the classifier is.
 type Identifier struct {
-	forest *forest.Forest
+	model classify.Classifier
 }
 
-// NewIdentifier wraps a trained forest.
-func NewIdentifier(f *forest.Forest) *Identifier { return &Identifier{forest: f} }
+// NewIdentifier wraps a trained classifier (e.g. *forest.Forest, or any of
+// the internal/ml backends).
+func NewIdentifier(c classify.Classifier) *Identifier { return &Identifier{model: c} }
 
-// Forest exposes the underlying model.
-func (id *Identifier) Forest() *forest.Forest { return id.forest }
+// Classifier exposes the underlying model.
+func (id *Identifier) Classifier() classify.Classifier { return id.model }
 
 // IdentifyResult classifies an already-gathered probe result.
 func (id *Identifier) IdentifyResult(res *probe.Result) Identification {
@@ -222,7 +249,7 @@ func (id *Identifier) IdentifyResult(res *probe.Result) Identification {
 		return out
 	}
 	out.Vector = feature.Extract(res.TraceA, res.TraceB)
-	label, conf := id.forest.Classify(out.Vector.Slice())
+	label, conf := id.model.Classify(out.Vector.Slice())
 	out.Confidence = conf
 	if conf < UnsureThreshold {
 		out.Label = LabelUnsure

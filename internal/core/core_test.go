@@ -9,6 +9,7 @@ import (
 	"repro/internal/forest"
 	"repro/internal/netem"
 	"repro/internal/probe"
+	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/websim"
 )
@@ -200,5 +201,75 @@ func TestTrainingDeterminism(t *testing.T) {
 				t.Fatalf("features differ at %d dim %d", i, d)
 			}
 		}
+	}
+}
+
+// lossyDatabase returns a condition database whose sampled loss rate is
+// always ~99%, so every gathering attempt fails.
+func lossyDatabase() *netem.Database {
+	rtt := stats.MustECDF([]stats.Anchor{{Value: 0.05, Cum: 0}, {Value: 0.051, Cum: 1}})
+	stddev := stats.MustECDF([]stats.Anchor{{Value: 0, Cum: 0}, {Value: 0.001, Cum: 1}})
+	loss := stats.MustECDF([]stats.Anchor{{Value: 0.99, Cum: 0}, {Value: 0.995, Cum: 1}})
+	return netem.NewDatabase(rtt, stddev, loss)
+}
+
+func TestGenerateTrainingSetDropsFailedGatherings(t *testing.T) {
+	// Under ~99% loss no trace pair is ever valid: the generator must
+	// refuse to emit zero vectors under real labels (the old behaviour)
+	// and instead report that nothing was gathered.
+	ds, err := GenerateTrainingSet(lossyDatabase(), TrainingConfig{
+		ConditionsPerPair: 2,
+		Algorithms:        []string{"RENO", "BIC"},
+		WmaxValues:        []int{64},
+		Seed:              5,
+	})
+	if err == nil {
+		for _, s := range ds.Samples() {
+			zero := true
+			for _, v := range s.Features {
+				if v != 0 {
+					zero = false
+				}
+			}
+			if zero {
+				t.Fatalf("zero feature vector leaked into the training set under label %s", s.Label)
+			}
+		}
+		t.Fatalf("expected error from all-invalid gathering, got %d samples", ds.Len())
+	}
+}
+
+// constantClassifier proves the identifier is decoupled from the forest:
+// any classify.Classifier backend slots in.
+type constantClassifier struct {
+	label string
+	conf  float64
+}
+
+func (c constantClassifier) Name() string                         { return "Constant" }
+func (c constantClassifier) Classify([]float64) (string, float64) { return c.label, c.conf }
+
+func TestIdentifierAcceptsAnyClassifier(t *testing.T) {
+	id := NewIdentifier(constantClassifier{label: "BIC", conf: 0.8})
+	got := id.Identify(websim.Testbed("RENO"), netem.Lossless, probe.Config{}, rand.New(rand.NewSource(10)))
+	if !got.Valid {
+		t.Fatalf("invalid: %s", got.Reason)
+	}
+	if got.Label != "BIC" || got.Confidence != 0.8 {
+		t.Fatalf("got %s/%v, want the backend's constant answer BIC/0.8", got.Label, got.Confidence)
+	}
+	if id.Classifier().Name() != "Constant" {
+		t.Fatalf("Classifier() = %s", id.Classifier().Name())
+	}
+}
+
+func TestIdentifierUnsureWithLowConfidenceBackend(t *testing.T) {
+	id := NewIdentifier(constantClassifier{label: "BIC", conf: 0.2})
+	got := id.Identify(websim.Testbed("RENO"), netem.Lossless, probe.Config{}, rand.New(rand.NewSource(11)))
+	if !got.Valid {
+		t.Fatalf("invalid: %s", got.Reason)
+	}
+	if got.Label != LabelUnsure {
+		t.Fatalf("got %s, want %s below the 40%% threshold", got.Label, LabelUnsure)
 	}
 }

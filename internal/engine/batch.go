@@ -1,0 +1,92 @@
+package engine
+
+import (
+	"math/rand"
+
+	"repro/internal/netem"
+	"repro/internal/probe"
+	"repro/internal/websim"
+)
+
+// Job is one identification request: probe one server under one network
+// condition. Seed, when non-zero, pins the job's randomness; otherwise the
+// batch derives a per-job seed from BatchConfig.Seed and the job index, so
+// results are reproducible and independent of worker scheduling either way.
+type Job struct {
+	Server *websim.Server
+	Cond   netem.Condition
+	Seed   int64
+}
+
+// Result pairs a job with its outcome. Index is the job's position in the
+// input slice (results are also returned in input order).
+type Result[R any] struct {
+	Index int
+	Job   Job
+	Out   R
+}
+
+// Identifier abstracts core.Identifier (or any compatible pipeline) for
+// batching without an import cycle: core depends on the engine's pool, so
+// the engine cannot depend on core's types.
+type Identifier[R any] interface {
+	Identify(server *websim.Server, cond netem.Condition, cfg probe.Config, rng *rand.Rand) R
+}
+
+// BatchConfig controls IdentifyBatch.
+type BatchConfig[R any] struct {
+	// Parallelism bounds concurrent probes; 0 = DefaultParallelism.
+	Parallelism int
+	// Probe customizes the prober (zero = paper defaults).
+	Probe probe.Config
+	// Seed derives per-job seeds for jobs that leave Job.Seed zero.
+	Seed int64
+	// OnResult, when set, streams each result as its probe completes
+	// (completion order, not input order). Calls are serialized; the
+	// callback must not block for long or it stalls the pool.
+	OnResult func(Result[R])
+}
+
+// jobSeedStride spaces derived per-job seeds (a prime, like the strides
+// used elsewhere in the pipeline, so neighbouring jobs never share RNG
+// streams).
+const jobSeedStride = 15485863
+
+// IdentifyBatch probes every job on the worker pool and returns the
+// results in input order. Each job runs with its own deterministically
+// seeded RNG, so a batch's output is a pure function of (jobs, cfg.Seed)
+// regardless of cfg.Parallelism or scheduling.
+func IdentifyBatch[R any](id Identifier[R], jobs []Job, cfg BatchConfig[R]) []Result[R] {
+	results := make([]Result[R], len(jobs))
+	var stream chan Result[R]
+	done := make(chan struct{})
+	if cfg.OnResult != nil {
+		stream = make(chan Result[R])
+		go func() {
+			defer close(done)
+			for r := range stream {
+				cfg.OnResult(r)
+			}
+		}()
+	} else {
+		close(done)
+	}
+	Run(len(jobs), cfg.Parallelism, func(i int) {
+		jb := jobs[i]
+		seed := jb.Seed
+		if seed == 0 {
+			seed = cfg.Seed + int64(i+1)*jobSeedStride
+		}
+		rng := rand.New(rand.NewSource(seed))
+		out := id.Identify(jb.Server, jb.Cond, cfg.Probe, rng)
+		results[i] = Result[R]{Index: i, Job: jb, Out: out}
+		if stream != nil {
+			stream <- results[i]
+		}
+	})
+	if stream != nil {
+		close(stream)
+	}
+	<-done
+	return results
+}

@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/netem"
+	"repro/internal/probe"
+	"repro/internal/websim"
+)
+
+func TestRunExecutesEveryJob(t *testing.T) {
+	for _, par := range []int{0, 1, 3, 16} {
+		hits := make([]int32, 100)
+		Run(len(hits), par, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, n := range hits {
+			if n != 1 {
+				t.Fatalf("parallelism %d: job %d ran %d times", par, i, n)
+			}
+		}
+	}
+}
+
+func TestRunZeroJobs(t *testing.T) {
+	Run(0, 4, func(int) { t.Fatal("job ran") })
+	Run(-1, 4, func(int) { t.Fatal("job ran") })
+}
+
+func TestRunBoundsConcurrency(t *testing.T) {
+	const par = 3
+	var cur, peak int32
+	var mu sync.Mutex
+	Run(64, par, func(int) {
+		n := atomic.AddInt32(&cur, 1)
+		mu.Lock()
+		if n > peak {
+			peak = n
+		}
+		mu.Unlock()
+		atomic.AddInt32(&cur, -1)
+	})
+	if peak > par {
+		t.Fatalf("observed %d concurrent jobs, want <= %d", peak, par)
+	}
+}
+
+// fakeIdentifier records the seed stream it was handed; its "result" is a
+// deterministic function of (server name, condition, first rng draw), so
+// batch determinism tests don't need a trained model.
+type fakeIdentifier struct{}
+
+type fakeOut struct {
+	Server string
+	Loss   float64
+	Draw   int64
+}
+
+func (fakeIdentifier) Identify(server *websim.Server, cond netem.Condition, _ probe.Config, rng *rand.Rand) fakeOut {
+	return fakeOut{Server: server.Name, Loss: cond.LossRate, Draw: rng.Int63()}
+}
+
+func batchJobs(n int) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{Server: websim.Testbed("RENO"), Cond: netem.Condition{LossRate: float64(i) / 100}}
+	}
+	return jobs
+}
+
+func TestIdentifyBatchDeterministicAcrossParallelism(t *testing.T) {
+	jobs := batchJobs(40)
+	var want []Result[fakeOut]
+	for _, par := range []int{1, 2, 7, 32} {
+		got := IdentifyBatch[fakeOut](fakeIdentifier{}, jobs, BatchConfig[fakeOut]{Parallelism: par, Seed: 99})
+		if len(got) != len(jobs) {
+			t.Fatalf("parallelism %d: %d results, want %d", par, len(got), len(jobs))
+		}
+		for i, r := range got {
+			if r.Index != i {
+				t.Fatalf("parallelism %d: result %d has index %d", par, i, r.Index)
+			}
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("parallelism %d: results differ from parallelism 1", par)
+		}
+	}
+}
+
+func TestIdentifyBatchHonorsExplicitJobSeed(t *testing.T) {
+	jobs := batchJobs(1)
+	jobs[0].Seed = 12345
+	a := IdentifyBatch[fakeOut](fakeIdentifier{}, jobs, BatchConfig[fakeOut]{Seed: 1})
+	b := IdentifyBatch[fakeOut](fakeIdentifier{}, jobs, BatchConfig[fakeOut]{Seed: 2})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("explicit job seed should override the batch seed")
+	}
+	want := rand.New(rand.NewSource(12345)).Int63()
+	if a[0].Out.Draw != want {
+		t.Fatalf("job rng draw = %d, want %d (seeded 12345)", a[0].Out.Draw, want)
+	}
+}
+
+func TestIdentifyBatchStreamsEveryResult(t *testing.T) {
+	jobs := batchJobs(25)
+	var mu sync.Mutex
+	seen := map[int]fakeOut{}
+	results := IdentifyBatch[fakeOut](fakeIdentifier{}, jobs, BatchConfig[fakeOut]{
+		Parallelism: 4,
+		Seed:        7,
+		OnResult: func(r Result[fakeOut]) {
+			mu.Lock()
+			seen[r.Index] = r.Out
+			mu.Unlock()
+		},
+	})
+	if len(seen) != len(jobs) {
+		t.Fatalf("streamed %d results, want %d", len(seen), len(jobs))
+	}
+	for _, r := range results {
+		if seen[r.Index] != r.Out {
+			t.Fatalf("streamed result %d disagrees with returned result", r.Index)
+		}
+	}
+}

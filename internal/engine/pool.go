@@ -1,0 +1,57 @@
+// Package engine is the execution layer of the pipeline: a bounded
+// worker-pool executor shared by training-set generation, the census
+// runner, and batched identification. It replaces the hand-rolled
+// goroutine-per-job semaphore fan-outs the pipeline started with -- the
+// pool spawns min(parallelism, jobs) workers that pull job indices from a
+// channel, so a million-job batch costs a handful of goroutines instead of
+// a million.
+package engine
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultParallelism is the worker count used when a caller passes 0.
+func DefaultParallelism() int { return runtime.GOMAXPROCS(0) }
+
+// Run executes fn(i) for every i in [0, n) on a pool of at most
+// parallelism workers and blocks until all jobs finish. parallelism <= 0
+// falls back to DefaultParallelism. Job functions must be safe to run
+// concurrently; writing to disjoint slots of a pre-sized results slice is
+// the intended pattern (it needs no locking and keeps output order
+// deterministic regardless of scheduling).
+func Run(n, parallelism int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := parallelism
+	if workers <= 0 {
+		workers = DefaultParallelism()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}

@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"repro/internal/classify"
 	"repro/internal/core"
 	"repro/internal/forest"
 	"repro/internal/netem"
@@ -32,7 +33,7 @@ type Context struct {
 
 	mu      sync.Mutex
 	dataset *forest.Dataset
-	model   *forest.Forest
+	model   classify.Classifier
 }
 
 // NewContext returns a context with the paper's full-scale defaults.
@@ -75,8 +76,8 @@ func (ctx *Context) TrainingSet() (*forest.Dataset, error) {
 }
 
 // Model lazily trains (and caches) the paper-parameter random forest
-// (K=80, F=4).
-func (ctx *Context) Model() (*forest.Forest, error) {
+// (K=80, F=4), unless UseModel injected a pretrained classifier first.
+func (ctx *Context) Model() (classify.Classifier, error) {
 	ctx.mu.Lock()
 	if ctx.model != nil {
 		defer ctx.mu.Unlock()
@@ -93,6 +94,15 @@ func (ctx *Context) Model() (*forest.Forest, error) {
 		ctx.model = forest.Train(ds, forest.Config{Trees: 80, Subspace: 4, Seed: ctx.Seed + 1})
 	}
 	return ctx.model, nil
+}
+
+// UseModel injects a pretrained classifier (e.g. one loaded from disk with
+// classify.LoadFile), so experiments that only classify skip the expensive
+// training-set generation and model training entirely.
+func (ctx *Context) UseModel(c classify.Classifier) {
+	ctx.mu.Lock()
+	defer ctx.mu.Unlock()
+	ctx.model = c
 }
 
 // rng derives a deterministic RNG for one experiment.

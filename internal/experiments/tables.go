@@ -151,7 +151,7 @@ func ClassifierComparison(ctx *Context) (map[string]float64, string, error) {
 	}
 	train, test := ml.Split(ds, 0.3, ctx.rng(444))
 	classifiers := []ml.Classifier{
-		ml.ForestClassifier{Forest: forest.Train(train, forest.Config{Trees: 80, Subspace: 4, Seed: ctx.Seed + 5})},
+		forest.Train(train, forest.Config{Trees: 80, Subspace: 4, Seed: ctx.Seed + 5}),
 		ml.NewKNN(train, 5),
 		ml.NewNaiveBayes(train),
 		ml.NewSingleTree(train, ctx.Seed+6),

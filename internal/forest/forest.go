@@ -6,7 +6,8 @@ import (
 	"math/rand"
 	"runtime"
 	"sort"
-	"sync"
+
+	"repro/internal/engine"
 )
 
 // Sample is one labeled feature vector.
@@ -130,31 +131,22 @@ func Train(ds *Dataset, cfg Config) *Forest {
 	}
 
 	trees := make([]*tree, cfg.Trees)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.Parallelism)
-	for t := 0; t < cfg.Trees; t++ {
-		wg.Add(1)
-		go func(t int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(t)*7919))
-			idx := make([]int, n)
-			for i := range idx {
-				idx[i] = rng.Intn(n) // bootstrap: sample with replacement
-			}
-			b := &treeBuilder{
-				features: features,
-				labels:   labels,
-				classes:  len(ds.classes),
-				subspace: cfg.Subspace,
-				minLeaf:  cfg.MinLeaf,
-				rng:      rng,
-			}
-			trees[t] = b.build(idx)
-		}(t)
-	}
-	wg.Wait()
+	engine.Run(cfg.Trees, cfg.Parallelism, func(t int) {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(t)*7919))
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = rng.Intn(n) // bootstrap: sample with replacement
+		}
+		b := &treeBuilder{
+			features: features,
+			labels:   labels,
+			classes:  len(ds.classes),
+			subspace: cfg.Subspace,
+			minLeaf:  cfg.MinLeaf,
+			rng:      rng,
+		}
+		trees[t] = b.build(idx)
+	})
 	return &Forest{trees: trees, classes: ds.classes}
 }
 

@@ -1,0 +1,163 @@
+package forest
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/classify"
+)
+
+// BackendName is the name the forest reports through classify.Classifier
+// and under which saved models are tagged.
+const BackendName = "RandomForest"
+
+// Name implements classify.Classifier, making a trained forest usable
+// anywhere the pipeline accepts a pluggable backend.
+func (f *Forest) Name() string { return BackendName }
+
+var _ classify.Classifier = (*Forest)(nil)
+
+// The JSON document layout. Node fields are flattened into parallel arrays
+// per tree: compact, fast to decode, and stable under gofmt-style diffing.
+type forestDoc struct {
+	Version int       `json:"version"`
+	Classes []string  `json:"classes"`
+	Trees   []treeDoc `json:"trees"`
+}
+
+type treeDoc struct {
+	// Feature[i] < 0 marks node i as a leaf whose class is Label[i];
+	// otherwise node i splits on Feature[i] at Threshold[i] with children
+	// Left[i] / Right[i].
+	Feature   []int     `json:"feature"`
+	Threshold []float64 `json:"threshold"`
+	Left      []int32   `json:"left"`
+	Right     []int32   `json:"right"`
+	Label     []int     `json:"label"`
+}
+
+// persistVersion guards the forest payload layout inside the envelope.
+const persistVersion = 1
+
+// Save serializes the trained forest to w as JSON. The written model
+// reproduces the in-memory forest's classifications exactly: tree
+// structure, thresholds, and class order are preserved bit-for-bit.
+func (f *Forest) Save(w io.Writer) error {
+	doc := forestDoc{Version: persistVersion, Classes: f.classes, Trees: make([]treeDoc, len(f.trees))}
+	for i, t := range f.trees {
+		td := treeDoc{
+			Feature:   make([]int, len(t.nodes)),
+			Threshold: make([]float64, len(t.nodes)),
+			Left:      make([]int32, len(t.nodes)),
+			Right:     make([]int32, len(t.nodes)),
+			Label:     make([]int, len(t.nodes)),
+		}
+		for j, n := range t.nodes {
+			if n.leaf {
+				td.Feature[j] = -1
+				td.Label[j] = n.label
+				continue
+			}
+			td.Feature[j] = n.feature
+			td.Threshold[j] = n.threshold
+			td.Left[j] = n.left
+			td.Right[j] = n.right
+		}
+		doc.Trees[i] = td
+	}
+	return json.NewEncoder(w).Encode(doc)
+}
+
+// Load deserializes a forest previously written by Save.
+func Load(r io.Reader) (*Forest, error) {
+	var doc forestDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("forest: decoding model: %w", err)
+	}
+	if doc.Version != persistVersion {
+		return nil, fmt.Errorf("forest: unsupported model version %d (want %d)", doc.Version, persistVersion)
+	}
+	if len(doc.Classes) == 0 || len(doc.Trees) == 0 {
+		return nil, fmt.Errorf("forest: model has %d classes and %d trees", len(doc.Classes), len(doc.Trees))
+	}
+	f := &Forest{classes: doc.Classes, trees: make([]*tree, len(doc.Trees))}
+	for i, td := range doc.Trees {
+		n := len(td.Feature)
+		if len(td.Threshold) != n || len(td.Left) != n || len(td.Right) != n || len(td.Label) != n {
+			return nil, fmt.Errorf("forest: tree %d has inconsistent node arrays", i)
+		}
+		if n == 0 {
+			return nil, fmt.Errorf("forest: tree %d is empty", i)
+		}
+		nodes := make([]treeNode, n)
+		for j := 0; j < n; j++ {
+			if td.Feature[j] < 0 {
+				if td.Label[j] < 0 || td.Label[j] >= len(doc.Classes) {
+					return nil, fmt.Errorf("forest: tree %d node %d: label %d out of range", i, j, td.Label[j])
+				}
+				nodes[j] = treeNode{leaf: true, label: td.Label[j]}
+				continue
+			}
+			if int(td.Left[j]) >= n || int(td.Right[j]) >= n {
+				return nil, fmt.Errorf("forest: tree %d node %d: child index out of range", i, j)
+			}
+			// The builder always places children after their parent, so
+			// child <= parent means a corrupt (possibly cyclic) layout
+			// that would make classify loop forever.
+			if td.Left[j] <= int32(j) || td.Right[j] <= int32(j) {
+				return nil, fmt.Errorf("forest: tree %d node %d: child index not after parent", i, j)
+			}
+			nodes[j] = treeNode{
+				feature:   td.Feature[j],
+				threshold: td.Threshold[j],
+				left:      td.Left[j],
+				right:     td.Right[j],
+			}
+		}
+		f.trees[i] = &tree{nodes: nodes}
+	}
+	return f, nil
+}
+
+// SaveFile writes the forest to path.
+func (f *Forest) SaveFile(path string) error {
+	w, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f.Save(w); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}
+
+// LoadFile reads a forest from path.
+func LoadFile(path string) (*Forest, error) {
+	r, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return Load(r)
+}
+
+// codec adapts Save/Load to the classify.Codec registry so envelope-tagged
+// model files round-trip through classify.Save / classify.Load.
+type codec struct{}
+
+func (codec) Backend() string { return BackendName }
+
+func (codec) Encode(w io.Writer, c classify.Classifier) error {
+	f, ok := c.(*Forest)
+	if !ok {
+		return fmt.Errorf("forest: codec cannot encode %T", c)
+	}
+	return f.Save(w)
+}
+
+func (codec) Decode(r io.Reader) (classify.Classifier, error) { return Load(r) }
+
+func init() { classify.RegisterCodec(codec{}) }

@@ -1,0 +1,81 @@
+package ml
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/classify"
+	"repro/internal/forest"
+)
+
+// Params carries the tuning knobs a backend may honor. Seed applies to
+// every stochastic backend; Trees and Subspace are the random forest's K
+// and F (zero = paper defaults) and are ignored by the other backends.
+type Params struct {
+	Seed     int64
+	Trees    int
+	Subspace int
+}
+
+// Builder trains one classifier backend on a dataset.
+type Builder func(ds *forest.Dataset, p Params) classify.Classifier
+
+// builders maps canonical backend names (and aliases) to constructors, so
+// tools can select the classification engine with a flag.
+var builders = map[string]Builder{
+	"randomforest": func(ds *forest.Dataset, p Params) classify.Classifier {
+		return forest.Train(ds, forest.Config{Trees: p.Trees, Subspace: p.Subspace, Seed: p.Seed})
+	},
+	"knn": func(ds *forest.Dataset, _ Params) classify.Classifier {
+		return NewKNN(ds, 5)
+	},
+	"naivebayes": func(ds *forest.Dataset, _ Params) classify.Classifier {
+		return NewNaiveBayes(ds)
+	},
+	"decisiontree": func(ds *forest.Dataset, p Params) classify.Classifier {
+		return NewSingleTree(ds, p.Seed)
+	},
+	"neuralnet": func(ds *forest.Dataset, p Params) classify.Classifier {
+		return NewMLP(ds, MLPConfig{Seed: p.Seed})
+	},
+	"linearsvm": func(ds *forest.Dataset, p Params) classify.Classifier {
+		return NewLinearSVM(ds, SVMConfig{Seed: p.Seed})
+	},
+}
+
+// aliases are accepted spellings beyond the canonical names.
+var aliases = map[string]string{
+	"forest": "randomforest",
+	"rf":     "randomforest",
+	"bayes":  "naivebayes",
+	"nb":     "naivebayes",
+	"tree":   "decisiontree",
+	"mlp":    "neuralnet",
+	"nn":     "neuralnet",
+	"svm":    "linearsvm",
+}
+
+// Backends lists the canonical backend names, sorted.
+func Backends() []string {
+	out := make([]string, 0, len(builders))
+	for name := range builders {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NewByName trains the named backend on ds. Names are case-insensitive
+// and common aliases (forest, knn, bayes, tree, mlp, svm) are accepted.
+func NewByName(name string, ds *forest.Dataset, p Params) (classify.Classifier, error) {
+	key := strings.ToLower(strings.TrimSpace(name))
+	if canonical, ok := aliases[key]; ok {
+		key = canonical
+	}
+	build, ok := builders[key]
+	if !ok {
+		return nil, fmt.Errorf("ml: unknown classifier backend %q (have %s)", name, strings.Join(Backends(), ", "))
+	}
+	return build(ds, p), nil
+}

@@ -1,8 +1,9 @@
 // Package ml provides the comparison classifiers the paper evaluated in
 // Weka before settling on random forest: k-nearest-neighbour, Gaussian
-// naive Bayes, and a single unpruned decision tree. They share the
-// Classifier interface with the random forest so the classifier-comparison
-// experiment can sweep them uniformly.
+// naive Bayes, a single unpruned decision tree, a one-hidden-layer neural
+// network, and a linear SVM. They all implement classify.Classifier (the
+// pipeline's pluggable backend interface) so the classifier-comparison
+// experiment -- and the identifier itself -- can swap them uniformly.
 package ml
 
 import (
@@ -10,26 +11,14 @@ import (
 	"math/rand"
 	"sort"
 
+	"repro/internal/classify"
 	"repro/internal/forest"
 )
 
-// Classifier is the common classification interface.
-type Classifier interface {
-	// Name identifies the classifier in reports.
-	Name() string
-	// Classify returns the predicted label and a confidence in [0, 1].
-	Classify(features []float64) (string, float64)
-}
-
-// ForestClassifier adapts forest.Forest to Classifier.
-type ForestClassifier struct {
-	*forest.Forest
-}
-
-// Name implements Classifier.
-func (ForestClassifier) Name() string { return "RandomForest" }
-
-var _ Classifier = ForestClassifier{}
+// Classifier is the pipeline's common classification interface, now
+// defined in internal/classify; the alias keeps this package's historical
+// spelling working.
+type Classifier = classify.Classifier
 
 // KNN is a k-nearest-neighbour classifier with per-dimension min-max
 // normalization.

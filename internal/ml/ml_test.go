@@ -77,9 +77,9 @@ func TestSingleTreeSeparatesClusters(t *testing.T) {
 	}
 }
 
-func TestForestClassifierAdapter(t *testing.T) {
+func TestForestImplementsClassifier(t *testing.T) {
 	ds := clusterDataset(t, 30, 6)
-	fc := ForestClassifier{Forest: forest.Train(ds, forest.Config{Trees: 10, Subspace: 2, Seed: 7})}
+	var fc Classifier = forest.Train(ds, forest.Config{Trees: 10, Subspace: 2, Seed: 7})
 	if got, _ := fc.Classify([]float64{8, 8}); got != "high" {
 		t.Fatalf("got %s", got)
 	}
@@ -112,7 +112,7 @@ func TestAllClassifiersBeatChanceOnHeldOut(t *testing.T) {
 	ds := clusterDataset(t, 60, 11)
 	train, test := Split(ds, 0.25, rand.New(rand.NewSource(12)))
 	classifiers := []Classifier{
-		ForestClassifier{Forest: forest.Train(train, forest.Config{Trees: 20, Subspace: 2, Seed: 13})},
+		forest.Train(train, forest.Config{Trees: 20, Subspace: 2, Seed: 13}),
 		NewKNN(train, 5),
 		NewNaiveBayes(train),
 		NewSingleTree(train, 14),
