@@ -8,7 +8,12 @@ package caai
 // cmd/caai-figures binary prints the full rows at paper scale.
 
 import (
+	"encoding/json"
+	"fmt"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 
@@ -20,6 +25,7 @@ import (
 	"repro/internal/forest"
 	"repro/internal/netem"
 	"repro/internal/probe"
+	"repro/internal/service"
 	"repro/internal/websim"
 )
 
@@ -392,4 +398,58 @@ func BenchmarkIdentifyBatch(b *testing.B) {
 	}
 	b.ReportMetric(float64(valid)/float64(len(jobs))*100, "valid-%")
 	b.ReportMetric(float64(len(jobs)), "jobs/op")
+}
+
+// BenchmarkServiceIdentify measures the HTTP service path of
+// internal/service end to end (JSON decode, registry lookup, cache,
+// pipeline, JSON encode): "hit" serves one request repeatedly from the
+// LRU result cache, "miss" forces a fresh probe every iteration by
+// varying the seed.
+func BenchmarkServiceIdentify(b *testing.B) {
+	ctx := benchCtx(b)
+	model, err := ctx.Model()
+	if err != nil {
+		b.Fatal(err)
+	}
+	newHandler := func() http.Handler {
+		reg := service.NewRegistry()
+		reg.Add("bench", model)
+		svc := service.New(reg, service.Config{})
+		b.Cleanup(svc.Close)
+		return svc.Handler()
+	}
+	do := func(b *testing.B, h http.Handler, seed int64) service.IdentifyResponse {
+		body := fmt.Sprintf(`{"server":{"algorithm":"CUBIC2"},"condition":{"loss_rate":0.005},"seed":%d}`, seed)
+		req := httptest.NewRequest(http.MethodPost, "/v1/identify", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+		var resp service.IdentifyResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			b.Fatal(err)
+		}
+		return resp
+	}
+
+	b.Run("hit", func(b *testing.B) {
+		h := newHandler()
+		do(b, h, 1) // prime the cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if resp := do(b, h, 1); !resp.Cached {
+				b.Fatal("expected a cache hit")
+			}
+		}
+	})
+	b.Run("miss", func(b *testing.B) {
+		h := newHandler()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if resp := do(b, h, int64(i+1)); resp.Cached {
+				b.Fatal("unexpected cache hit")
+			}
+		}
+	})
 }

@@ -22,6 +22,9 @@
 //     Classifier interface.
 //   - internal/engine: the bounded worker-pool execution layer used for
 //     training-set generation, batched identification, and the census.
+//   - internal/service: identification-as-a-service -- the HTTP/JSON API
+//     behind cmd/caai-serve, with an async job queue, a hot-swappable
+//     model registry, and an LRU result cache.
 //   - internal/census: the 63 124-server measurement study.
 //
 // Quick start (train, identify one server):
@@ -47,6 +50,13 @@
 // Alternative classifier backends (the paper's Weka comparison):
 //
 //	id, _ := caai.TrainWithClassifier(caai.TrainingOptions{}, "knn")
+//
+// Serving identifications over HTTP (the resident-service flow): train
+// and save a model as above, then run cmd/caai-serve against it -- it
+// loads models once, answers POST /v1/identify and async POST /v1/batch
+// jobs, hot-swaps retrained model files via POST /v1/models/reload, and
+// caches repeated identifications. See the README's "Serving
+// identifications" section for the HTTP API.
 package caai
 
 import (
@@ -222,6 +232,15 @@ func LoadModel(path string) (*Identifier, error) {
 		return nil, fmt.Errorf("caai: loading model: %w", err)
 	}
 	return newIdentifier(model, nil), nil
+}
+
+// NewIdentifierFromClassifier wraps an already trained (or loaded)
+// classifier in a ready identifier, for callers that manage models
+// themselves (custom registries, out-of-tree persistence) rather than
+// going through Train or LoadModel. TrainingSet returns nil on the
+// result.
+func NewIdentifierFromClassifier(c Classifier) *Identifier {
+	return newIdentifier(c, nil)
 }
 
 // Classifier exposes the trained classification backend.

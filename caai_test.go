@@ -213,3 +213,20 @@ func TestClassifierBackendsListed(t *testing.T) {
 		}
 	}
 }
+
+func TestNewIdentifierFromClassifier(t *testing.T) {
+	trained := identifier(t)
+	wrapped := NewIdentifierFromClassifier(trained.Classifier())
+	if wrapped.TrainingSet() != nil {
+		t.Fatal("wrapped identifier exposes a training set")
+	}
+	if wrapped.Classifier() != trained.Classifier() {
+		t.Fatal("wrapped identifier swapped the classifier")
+	}
+	rng := rand.New(rand.NewSource(9))
+	got := wrapped.Identify(NewTestbedServer("CUBIC2"), LosslessCondition(), rng)
+	want := trained.Identify(NewTestbedServer("CUBIC2"), LosslessCondition(), rand.New(rand.NewSource(9)))
+	if got != want {
+		t.Fatalf("wrapped identify = %+v, trained identify = %+v", got, want)
+	}
+}

@@ -12,8 +12,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"strings"
@@ -23,27 +25,44 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "caai-probe:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	algorithm := flag.String("algorithm", "CUBIC2", "server congestion avoidance algorithm ("+strings.Join(caai.Algorithms(), ", ")+")")
-	loss := flag.Float64("loss", 0, "path packet-loss rate in [0,1]")
-	rttStddev := flag.Duration("jitter", 0, "path RTT standard deviation")
-	conditions := flag.Int("conditions", 25, "training conditions per (algorithm, wmax) pair")
-	seed := flag.Int64("seed", 1, "random seed")
-	model := flag.String("model", "", "load a saved model instead of retraining (see caai-train -save)")
-	backend := flag.String("classifier", "randomforest", "classifier backend ("+strings.Join(caai.ClassifierBackends(), ", ")+")")
-	flag.Parse()
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("caai-probe", flag.ContinueOnError)
+	// Parse errors surface once, via the returned error; only an explicit
+	// -h prints usage, on the success stream.
+	fs.SetOutput(io.Discard)
+	algorithm := fs.String("algorithm", "CUBIC2", "server congestion avoidance algorithm ("+strings.Join(caai.Algorithms(), ", ")+")")
+	loss := fs.Float64("loss", 0, "path packet-loss rate in [0,1]")
+	rttStddev := fs.Duration("jitter", 0, "path RTT standard deviation")
+	conditions := fs.Int("conditions", 25, "training conditions per (algorithm, wmax) pair")
+	seed := fs.Int64("seed", 1, "random seed")
+	model := fs.String("model", "", "load a saved model instead of retraining (see caai-train -save)")
+	backend := fs.String("classifier", "randomforest", "classifier backend ("+strings.Join(caai.ClassifierBackends(), ", ")+")")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			fs.SetOutput(stdout)
+			fs.Usage()
+			return nil // a help request is not a failure
+		}
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *loss < 0 || *loss > 1 {
+		return fmt.Errorf("-loss %v out of range [0, 1]", *loss)
+	}
 
 	var id *caai.Identifier
 	var err error
 	if *model != "" {
 		classifierSet := false
-		flag.Visit(func(f *flag.Flag) {
+		fs.Visit(func(f *flag.Flag) {
 			if f.Name == "classifier" {
 				classifierSet = true
 			}
@@ -55,9 +74,9 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("loaded %s model from %s\n", id.Classifier().Name(), *model)
+		fmt.Fprintf(stdout, "loaded %s model from %s\n", id.Classifier().Name(), *model)
 	} else {
-		fmt.Printf("training CAAI %s (%d conditions per pair)...\n", *backend, *conditions)
+		fmt.Fprintf(stdout, "training CAAI %s (%d conditions per pair)...\n", *backend, *conditions)
 		id, err = caai.TrainWithClassifier(caai.TrainingOptions{ConditionsPerPair: *conditions, Seed: *seed}, *backend)
 		if err != nil {
 			return err
@@ -72,12 +91,12 @@ func run() error {
 	if !valid {
 		return fmt.Errorf("no valid trace gathered from %s", server.Name)
 	}
-	fmt.Printf("\ntrace A: %s\n", ta)
-	fmt.Printf("trace B: %s\n", tb)
-	fmt.Printf("wmax: %d\n", wmax)
-	fmt.Printf("features: %s\n", caai.ExtractFeatures(ta, tb))
+	fmt.Fprintf(stdout, "\ntrace A: %s\n", ta)
+	fmt.Fprintf(stdout, "trace B: %s\n", tb)
+	fmt.Fprintf(stdout, "wmax: %d\n", wmax)
+	fmt.Fprintf(stdout, "features: %s\n", caai.ExtractFeatures(ta, tb))
 
 	result := id.Identify(server, cond, rand.New(rand.NewSource(*seed+1)))
-	fmt.Printf("\nidentification: %s\n", result)
+	fmt.Fprintf(stdout, "\nidentification: %s\n", result)
 	return nil
 }

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	caai "repro"
+)
+
+func TestRunArgumentErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the expected error
+	}{
+		{"unknown flag", []string{"-bogus"}, "flag provided but not defined"},
+		{"positional args", []string{"CUBIC2"}, "unexpected arguments"},
+		{"loss out of range", []string{"-loss", "1.5"}, "out of range"},
+		{"negative loss", []string{"-loss", "-0.1"}, "out of range"},
+		{"model and classifier", []string{"-model", "m.json", "-classifier", "knn"}, "mutually exclusive"},
+		{"missing model file", []string{"-model", "/does/not/exist.json"}, "exist.json"},
+		{"unknown backend", []string{"-conditions", "1", "-classifier", "nope"}, "nope"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			err := run(tc.args, &out)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error containing %q", tc.args, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("run(%v) err = %v, want substring %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestRunTrainsAndIdentifies(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-algorithm", "RENO", "-conditions", "1", "-seed", "3"}, &out); err != nil {
+		t.Fatalf("run: %v\noutput: %s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"training CAAI randomforest", "trace A:", "trace B:", "wmax:", "features:", "identification:"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunWithSavedModel(t *testing.T) {
+	id, err := caai.Train(caai.TrainingOptions{ConditionsPerPair: 2, Trees: 8, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := id.SaveModel(path); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-algorithm", "BIC", "-model", path}, &out); err != nil {
+		t.Fatalf("run: %v\noutput: %s", err, out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "loaded RandomForest model from "+path) {
+		t.Fatalf("missing load banner:\n%s", got)
+	}
+	if strings.Contains(got, "training CAAI") {
+		t.Fatalf("-model run retrained:\n%s", got)
+	}
+	if !strings.Contains(got, "identification:") {
+		t.Fatalf("missing identification:\n%s", got)
+	}
+}
+
+func TestRunHelpIsNotAnError(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-h"}, &out); err != nil {
+		t.Fatalf("run(-h) = %v", err)
+	}
+	if !strings.Contains(out.String(), "Usage of caai-probe") {
+		t.Fatalf("usage not printed:\n%s", out.String())
+	}
+}

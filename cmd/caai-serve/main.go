@@ -1,0 +1,175 @@
+// Command caai-serve runs CAAI as a resident identification service: it
+// loads one or more trained models once (or trains one in-process) and
+// answers identification requests over HTTP until interrupted.
+//
+// Usage:
+//
+//	caai-serve -model caai-model.json                      # serve a saved model
+//	caai-serve -model prod=a.json -model canary=b.json     # several named models
+//	caai-serve -train 12 -addr :9090                       # train in-process, then serve
+//
+// Endpoints: POST /v1/identify (synchronous), POST /v1/batch plus
+// GET /v1/jobs/{id} (asynchronous), POST /v1/models/reload (hot-swap
+// retrained model files without downtime), GET /v1/models, GET /healthz,
+// GET /metrics. See the README's "Serving identifications" section for
+// curl examples.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	caai "repro"
+	"repro/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "caai-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// modelList collects repeated -model flags ("[name=]path").
+type modelList []string
+
+func (m *modelList) String() string { return strings.Join(*m, ", ") }
+
+func (m *modelList) Set(v string) error {
+	if v == "" {
+		return fmt.Errorf("empty -model value")
+	}
+	*m = append(*m, v)
+	return nil
+}
+
+// splitModelFlag parses one -model value. A bare path names the model
+// after its file base (sans extension).
+func splitModelFlag(v string) (name, path string, err error) {
+	if i := strings.IndexByte(v, '='); i >= 0 {
+		name, path = v[:i], v[i+1:]
+		if name == "" || path == "" {
+			return "", "", fmt.Errorf("-model %q: want [name=]path", v)
+		}
+		return name, path, nil
+	}
+	base := filepath.Base(v)
+	return strings.TrimSuffix(base, filepath.Ext(base)), v, nil
+}
+
+// run is the testable body of the command: it serves until ctx is
+// cancelled (then shuts down gracefully) or the listener fails.
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("caai-serve", flag.ContinueOnError)
+	// Parse errors surface once, via the returned error; only an explicit
+	// -h prints usage, on the success stream.
+	fs.SetOutput(io.Discard)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+	var models modelList
+	fs.Var(&models, "model", "model file saved by caai-train -save, as [name=]path; repeatable, first is the default model")
+	train := fs.Int("train", 0, "without -model: train an in-process random forest with this many conditions per (algorithm, wmax) pair")
+	trees := fs.Int("trees", 0, "forest size for -train (0 = paper's 80)")
+	seed := fs.Int64("seed", 2011, "random seed for -train")
+	cache := fs.Int("cache", 0, "LRU result cache entries (0 = default 4096, negative disables)")
+	queue := fs.Int("queue", 0, "bounded async job queue length (0 = default 64)")
+	workers := fs.Int("workers", 0, "concurrent batch executors (0 = 1)")
+	parallelism := fs.Int("parallelism", 0, "engine pool width per running batch (0 = all CPUs)")
+	maxBatch := fs.Int("max-batch", 0, "max jobs per POST /v1/batch (0 = default 10000)")
+	retain := fs.Int("retain", 0, "finished async jobs kept pollable before eviction (0 = default 256)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			fs.SetOutput(stdout)
+			fs.Usage()
+			return nil // a help request is not a failure
+		}
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	if len(models) > 0 && *train > 0 {
+		return fmt.Errorf("-model and -train are mutually exclusive: -train only applies when no saved model is given")
+	}
+	// Validate every -model flag (including name collisions, which would
+	// otherwise silently hot-swap one model over another) before loading.
+	type namedModel struct{ name, path string }
+	var toLoad []namedModel
+	seen := map[string]string{}
+	for _, v := range models {
+		name, path, err := splitModelFlag(v)
+		if err != nil {
+			return err
+		}
+		if prev, dup := seen[name]; dup {
+			return fmt.Errorf("-model name %q used for both %s and %s: give one an explicit name=path", name, prev, path)
+		}
+		seen[name] = path
+		toLoad = append(toLoad, namedModel{name, path})
+	}
+	reg := service.NewRegistry()
+	for _, nm := range toLoad {
+		m, err := reg.Load(nm.name, nm.path)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "caai-serve: loaded %s model %q from %s\n", m.Backend, m.Name, nm.path)
+	}
+	if reg.Len() == 0 {
+		if *train <= 0 {
+			return fmt.Errorf("no models: pass -model path (see caai-train -save) or -train N to train in-process")
+		}
+		fmt.Fprintf(stdout, "caai-serve: training random forest (%d conditions per pair)...\n", *train)
+		id, err := caai.Train(caai.TrainingOptions{ConditionsPerPair: *train, Trees: *trees, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		reg.Add("default", id.Classifier())
+	}
+
+	svc := service.New(reg, service.Config{
+		CacheSize:    *cache,
+		QueueSize:    *queue,
+		Workers:      *workers,
+		Parallelism:  *parallelism,
+		MaxBatchJobs: *maxBatch,
+		JobRetention: *retain,
+	})
+	defer svc.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: svc.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	fmt.Fprintf(stdout, "caai-serve: listening on http://%s (models: %s)\n", ln.Addr(), strings.Join(reg.Names(), ", "))
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		<-errc // Serve has returned ErrServerClosed
+		fmt.Fprintln(stdout, "caai-serve: shut down")
+		return nil
+	case err := <-errc:
+		return err
+	}
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/netem"
@@ -35,6 +36,11 @@ type Identifier[R any] interface {
 
 // BatchConfig controls IdentifyBatch.
 type BatchConfig[R any] struct {
+	// Ctx, when non-nil, cancels the batch: once Ctx is done no further
+	// jobs are started (in-flight probes finish) and the Result slots of
+	// jobs that never ran are left zero -- their Job.Server is nil and
+	// OnResult was never called for them. A nil Ctx never cancels.
+	Ctx context.Context
 	// Parallelism bounds concurrent probes; 0 = DefaultParallelism.
 	Parallelism int
 	// Probe customizes the prober (zero = paper defaults).
@@ -55,8 +61,13 @@ const jobSeedStride = 15485863
 // IdentifyBatch probes every job on the worker pool and returns the
 // results in input order. Each job runs with its own deterministically
 // seeded RNG, so a batch's output is a pure function of (jobs, cfg.Seed)
-// regardless of cfg.Parallelism or scheduling.
+// regardless of cfg.Parallelism or scheduling. Set cfg.Ctx to make the
+// batch cancellable (see BatchConfig.Ctx for the partial-result contract).
 func IdentifyBatch[R any](id Identifier[R], jobs []Job, cfg BatchConfig[R]) []Result[R] {
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	results := make([]Result[R], len(jobs))
 	var stream chan Result[R]
 	done := make(chan struct{})
@@ -71,7 +82,7 @@ func IdentifyBatch[R any](id Identifier[R], jobs []Job, cfg BatchConfig[R]) []Re
 	} else {
 		close(done)
 	}
-	Run(len(jobs), cfg.Parallelism, func(i int) {
+	RunCtx(ctx, len(jobs), cfg.Parallelism, func(i int) {
 		jb := jobs[i]
 		seed := jb.Seed
 		if seed == 0 {

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"sync"
@@ -126,6 +127,107 @@ func TestIdentifyBatchStreamsEveryResult(t *testing.T) {
 	for _, r := range results {
 		if seen[r.Index] != r.Out {
 			t.Fatalf("streamed result %d disagrees with returned result", r.Index)
+		}
+	}
+}
+
+func TestRunCtxCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, par := range []int{1, 4} {
+		var ran int32
+		err := RunCtx(ctx, 100, par, func(int) { atomic.AddInt32(&ran, 1) })
+		if err == nil {
+			t.Fatalf("parallelism %d: want context error, got nil", par)
+		}
+		// The multi-worker path may admit at most the jobs already in
+		// flight when cancellation is observed; a pre-cancelled context
+		// must not run the bulk of the batch.
+		if n := atomic.LoadInt32(&ran); n > int32(par) {
+			t.Fatalf("parallelism %d: %d jobs ran after pre-cancel", par, n)
+		}
+	}
+}
+
+func TestRunCtxStopsSubmittingAfterCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int32
+	err := RunCtx(ctx, 10_000, 2, func(i int) {
+		if atomic.AddInt32(&ran, 1) == 5 {
+			cancel()
+		}
+	})
+	if err == nil {
+		t.Fatal("want context error after mid-batch cancel")
+	}
+	// Workers observe the cancel on their next channel receive, so a
+	// handful of in-flight jobs may complete -- but nowhere near all.
+	if n := atomic.LoadInt32(&ran); n >= 10_000 {
+		t.Fatalf("all %d jobs ran despite cancellation", n)
+	}
+}
+
+func TestRunCtxCompletesWithoutCancel(t *testing.T) {
+	var ran int32
+	if err := RunCtx(context.Background(), 50, 3, func(int) { atomic.AddInt32(&ran, 1) }); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 50 {
+		t.Fatalf("ran %d jobs, want 50", ran)
+	}
+}
+
+func TestIdentifyBatchCtxCancelSkipsRemainingJobs(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	jobs := batchJobs(200)
+	var streamed int32
+	results := IdentifyBatch[fakeOut](fakeIdentifier{}, jobs, BatchConfig[fakeOut]{
+		Ctx:         ctx,
+		Parallelism: 2,
+		Seed:        3,
+		OnResult: func(Result[fakeOut]) {
+			if atomic.AddInt32(&streamed, 1) == 3 {
+				cancel()
+			}
+		},
+	})
+	if len(results) != len(jobs) {
+		t.Fatalf("got %d result slots, want %d", len(results), len(jobs))
+	}
+	var done, skipped int
+	for _, r := range results {
+		if r.Job.Server != nil {
+			done++
+		} else {
+			skipped++
+		}
+	}
+	if skipped == 0 {
+		t.Fatal("cancelled batch skipped no jobs")
+	}
+	if int(atomic.LoadInt32(&streamed)) != done {
+		t.Fatalf("streamed %d results but %d slots are filled", streamed, done)
+	}
+}
+
+func TestRunCtxNilWhenCancelledAfterLastJob(t *testing.T) {
+	// Cancellation landing after every job was handed out must not be
+	// reported as a partial run.
+	for _, par := range []int{1, 2} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran int32
+		err := RunCtx(ctx, 50, par, func(i int) {
+			if i == 49 {
+				cancel()
+			}
+			atomic.AddInt32(&ran, 1)
+		})
+		cancel()
+		if err != nil {
+			t.Fatalf("parallelism %d: err = %v after full completion", par, err)
+		}
+		if ran != 50 {
+			t.Fatalf("parallelism %d: ran %d of 50", par, ran)
 		}
 	}
 }

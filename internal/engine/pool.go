@@ -8,6 +8,7 @@
 package engine
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -22,8 +23,18 @@ func DefaultParallelism() int { return runtime.GOMAXPROCS(0) }
 // the intended pattern (it needs no locking and keeps output order
 // deterministic regardless of scheduling).
 func Run(n, parallelism int, fn func(i int)) {
+	RunCtx(context.Background(), n, parallelism, fn)
+}
+
+// RunCtx is Run with cancellation: once ctx is done, no further jobs are
+// started (jobs already running finish normally) and RunCtx returns
+// ctx.Err(). It returns nil when every job ran -- including when ctx is
+// cancelled only after the last job was already handed to a worker.
+// Callers that need to know which jobs were skipped should record
+// completion inside fn.
+func RunCtx(ctx context.Context, n, parallelism int, fn func(i int)) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	workers := parallelism
 	if workers <= 0 {
@@ -34,9 +45,12 @@ func Run(n, parallelism int, fn func(i int)) {
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(i)
 		}
-		return
+		return nil
 	}
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -49,9 +63,29 @@ func Run(n, parallelism int, fn func(i int)) {
 			}
 		}()
 	}
+	done := ctx.Done()
+	cancelled := false
+submit:
 	for i := 0; i < n; i++ {
-		jobs <- i
+		// Checked first so cancellation wins even when a worker is ready
+		// to receive (select picks ready cases at random).
+		select {
+		case <-done:
+			cancelled = true
+			break submit
+		default:
+		}
+		select {
+		case jobs <- i:
+		case <-done:
+			cancelled = true
+			break submit
+		}
 	}
 	close(jobs)
 	wg.Wait()
+	if cancelled {
+		return ctx.Err()
+	}
+	return nil
 }

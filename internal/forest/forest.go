@@ -115,6 +115,10 @@ func (c Config) withDefaults() Config {
 type Forest struct {
 	trees   []*tree
 	classes []string
+	// width is the feature-vector length the trees index into; Votes
+	// refuses shorter inputs so a corrupt model or caller cannot panic
+	// the classification hot path.
+	width int
 }
 
 // Train grows cfg.Trees trees on bootstrap samples of ds, each split drawn
@@ -147,7 +151,11 @@ func Train(ds *Dataset, cfg Config) *Forest {
 		}
 		trees[t] = b.build(idx)
 	})
-	return &Forest{trees: trees, classes: ds.classes}
+	width := 0
+	if n > 0 {
+		width = len(ds.samples[0].Features)
+	}
+	return &Forest{trees: trees, classes: ds.classes, width: width}
 }
 
 // Classes returns the class labels the forest can emit.
@@ -170,9 +178,15 @@ func (f *Forest) Classify(features []float64) (string, float64) {
 	return f.classes[best], float64(bestN) / float64(len(f.trees))
 }
 
-// Votes returns the per-class vote counts, indexed like Classes().
+// Votes returns the per-class vote counts, indexed like Classes(). A
+// vector shorter than the trained feature width gets zero votes across
+// the board (and so classifies at zero confidence) instead of panicking
+// mid-walk on an out-of-range feature index.
 func (f *Forest) Votes(features []float64) []int {
 	votes := make([]int, len(f.classes))
+	if f.width > 0 && len(features) < f.width {
+		return votes
+	}
 	for _, t := range f.trees {
 		votes[t.classify(features)]++
 	}

@@ -22,9 +22,13 @@ var _ classify.Classifier = (*Forest)(nil)
 // The JSON document layout. Node fields are flattened into parallel arrays
 // per tree: compact, fast to decode, and stable under gofmt-style diffing.
 type forestDoc struct {
-	Version int       `json:"version"`
-	Classes []string  `json:"classes"`
-	Trees   []treeDoc `json:"trees"`
+	Version int      `json:"version"`
+	Classes []string `json:"classes"`
+	// Features is the feature-vector width the trees index into. Older
+	// files omit it (0): Load then derives the width from the largest
+	// split index, so classification stays bounds-safe either way.
+	Features int       `json:"features,omitempty"`
+	Trees    []treeDoc `json:"trees"`
 }
 
 type treeDoc struct {
@@ -45,7 +49,7 @@ const persistVersion = 1
 // reproduces the in-memory forest's classifications exactly: tree
 // structure, thresholds, and class order are preserved bit-for-bit.
 func (f *Forest) Save(w io.Writer) error {
-	doc := forestDoc{Version: persistVersion, Classes: f.classes, Trees: make([]treeDoc, len(f.trees))}
+	doc := forestDoc{Version: persistVersion, Classes: f.classes, Features: f.width, Trees: make([]treeDoc, len(f.trees))}
 	for i, t := range f.trees {
 		td := treeDoc{
 			Feature:   make([]int, len(t.nodes)),
@@ -82,7 +86,11 @@ func Load(r io.Reader) (*Forest, error) {
 	if len(doc.Classes) == 0 || len(doc.Trees) == 0 {
 		return nil, fmt.Errorf("forest: model has %d classes and %d trees", len(doc.Classes), len(doc.Trees))
 	}
+	if doc.Features < 0 {
+		return nil, fmt.Errorf("forest: negative feature width %d", doc.Features)
+	}
 	f := &Forest{classes: doc.Classes, trees: make([]*tree, len(doc.Trees))}
+	maxFeature := -1
 	for i, td := range doc.Trees {
 		n := len(td.Feature)
 		if len(td.Threshold) != n || len(td.Left) != n || len(td.Right) != n || len(td.Label) != n {
@@ -99,6 +107,12 @@ func Load(r io.Reader) (*Forest, error) {
 				}
 				nodes[j] = treeNode{leaf: true, label: td.Label[j]}
 				continue
+			}
+			if doc.Features > 0 && td.Feature[j] >= doc.Features {
+				return nil, fmt.Errorf("forest: tree %d node %d: feature %d out of range (width %d)", i, j, td.Feature[j], doc.Features)
+			}
+			if td.Feature[j] > maxFeature {
+				maxFeature = td.Feature[j]
 			}
 			if int(td.Left[j]) >= n || int(td.Right[j]) >= n {
 				return nil, fmt.Errorf("forest: tree %d node %d: child index out of range", i, j)
@@ -117,6 +131,12 @@ func Load(r io.Reader) (*Forest, error) {
 			}
 		}
 		f.trees[i] = &tree{nodes: nodes}
+	}
+	f.width = doc.Features
+	if f.width == 0 {
+		// Legacy file without a declared width: the largest split index
+		// bounds what classification will dereference.
+		f.width = maxFeature + 1
 	}
 	return f, nil
 }

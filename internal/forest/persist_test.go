@@ -113,6 +113,8 @@ func TestLoadRejectsCorruptModels(t *testing.T) {
 		"negative child": `{"version":1,"classes":["a"],"trees":[{"feature":[0],"threshold":[0],"left":[-1],"right":[0],"label":[0]}]}`,
 		"self cycle":     `{"version":1,"classes":["a"],"trees":[{"feature":[0,-1],"threshold":[0,0],"left":[0,0],"right":[1,0],"label":[0,0]}]}`,
 		"back edge":      `{"version":1,"classes":["a"],"trees":[{"feature":[0,0,-1],"threshold":[0,0,0],"left":[1,0,0],"right":[2,2,0],"label":[0,0,0]}]}`,
+		"feature range":  `{"version":1,"features":2,"classes":["a"],"trees":[{"feature":[9,-1,-1],"threshold":[0,0,0],"left":[1,0,0],"right":[2,0,0],"label":[0,0,0]}]}`,
+		"negative width": `{"version":1,"features":-1,"classes":["a"],"trees":[{"feature":[-1],"threshold":[0],"left":[0],"right":[0],"label":[0]}]}`,
 	}
 	for name, doc := range cases {
 		if _, err := Load(strings.NewReader(doc)); err == nil {
@@ -149,5 +151,54 @@ func TestForestCodecRegistered(t *testing.T) {
 	wantL, wantC := orig.Classify(q)
 	if gotL, gotC := loaded.Classify(q); gotL != wantL || gotC != wantC {
 		t.Fatalf("envelope round trip changed classification")
+	}
+}
+
+// TestLoadedModelNeverPanicsOnShortVectors guards the resident-service
+// crash vector: a model file whose split indices exceed the query width
+// (legacy files have no declared width, so Load cannot reject them) must
+// classify at zero confidence instead of panicking mid-tree-walk.
+func TestLoadedModelNeverPanicsOnShortVectors(t *testing.T) {
+	legacy := `{"version":1,"classes":["a","b"],"trees":[{"feature":[500,-1,-1],"threshold":[0,0,0],"left":[1,0,0],"right":[2,0,0],"label":[0,0,1]}]}`
+	f, err := Load(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, conf := f.Classify(make([]float64, 8)); conf != 0 {
+		t.Fatalf("confidence = %v, want 0 for an undersized vector", conf)
+	}
+	// A vector wide enough for the declared splits still classifies.
+	if label, conf := f.Classify(make([]float64, 501)); label != "a" || conf != 1 {
+		t.Fatalf("wide vector classified as %s (%v)", label, conf)
+	}
+}
+
+// TestSaveRecordsFeatureWidth checks new files carry the width and Load
+// enforces it round-trip.
+func TestSaveRecordsFeatureWidth(t *testing.T) {
+	ds, err := NewDataset([]Sample{
+		{Features: []float64{1, 2, 3}, Label: "x"},
+		{Features: []float64{4, 5, 6}, Label: "y"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Train(ds, Config{Trees: 3, Seed: 1})
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"features":3`) {
+		t.Fatalf("saved doc missing feature width: %s", buf.String())
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.width != 3 {
+		t.Fatalf("loaded width = %d, want 3", loaded.width)
+	}
+	if _, conf := loaded.Classify([]float64{1}); conf != 0 {
+		t.Fatalf("short vector got confidence %v, want 0", conf)
 	}
 }

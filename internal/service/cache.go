@@ -1,0 +1,72 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a fixed-capacity LRU of identification results keyed by
+// (model version, job spec fingerprint). Identification is deterministic
+// for a fixed key, so entries never go stale; hot-swapping a model bumps
+// its generation, which changes every key and naturally retires the old
+// model's entries as new results push them out.
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	val IdentifyResponse
+}
+
+// newResultCache returns an LRU holding at most max entries; max <= 0
+// disables caching (every Get misses, Put is a no-op).
+func newResultCache(max int) *resultCache {
+	return &resultCache{max: max, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// Get returns the cached response for key, marking it most recently used.
+func (c *resultCache) Get(key string) (IdentifyResponse, bool) {
+	if c.max <= 0 {
+		return IdentifyResponse{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return IdentifyResponse{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put stores the response under key, evicting the least recently used
+// entry when full.
+func (c *resultCache) Put(key string, val IdentifyResponse) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len reports the current entry count.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

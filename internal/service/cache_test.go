@@ -1,0 +1,87 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCacheHitAndMiss(t *testing.T) {
+	c := newResultCache(4)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache returned a hit")
+	}
+	c.Put("a", IdentifyResponse{Label: "RENO"})
+	got, ok := c.Get("a")
+	if !ok || got.Label != "RENO" {
+		t.Fatalf("Get(a) = %+v, %v", got, ok)
+	}
+}
+
+func TestCacheEvictsLeastRecentlyUsed(t *testing.T) {
+	c := newResultCache(3)
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("k%d", i), IdentifyResponse{Wmax: i})
+	}
+	// Touch k0 so k1 becomes the eviction candidate.
+	if _, ok := c.Get("k0"); !ok {
+		t.Fatal("k0 missing before eviction")
+	}
+	c.Put("k3", IdentifyResponse{Wmax: 3})
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("k1 survived eviction despite being least recently used")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s evicted unexpectedly", k)
+		}
+	}
+	if c.Len() != 3 {
+		t.Fatalf("cache holds %d entries, want 3", c.Len())
+	}
+}
+
+func TestCacheUpdateExistingKey(t *testing.T) {
+	c := newResultCache(2)
+	c.Put("a", IdentifyResponse{Wmax: 1})
+	c.Put("a", IdentifyResponse{Wmax: 2})
+	if c.Len() != 1 {
+		t.Fatalf("duplicate Put grew the cache to %d entries", c.Len())
+	}
+	got, _ := c.Get("a")
+	if got.Wmax != 2 {
+		t.Fatalf("Get(a).Wmax = %d, want the updated value 2", got.Wmax)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := newResultCache(-1)
+	c.Put("a", IdentifyResponse{})
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+	if c.Len() != 0 {
+		t.Fatal("disabled cache stored an entry")
+	}
+}
+
+func TestJobSpecFingerprintNormalizes(t *testing.T) {
+	// Defaults and explicit values that mean the same thing must share a
+	// cache key.
+	a := JobSpec{Server: ServerSpec{Algorithm: "RENO"}}
+	b := JobSpec{
+		Server:    ServerSpec{Algorithm: "RENO", Name: "testbed-RENO"},
+		Condition: ConditionSpec{MeanRTTMs: 50},
+		Seed:      1,
+	}
+	if a.fingerprint() != b.fingerprint() {
+		t.Fatalf("equivalent specs fingerprint differently:\n%s\n%s", a.fingerprint(), b.fingerprint())
+	}
+	c := JobSpec{Server: ServerSpec{Algorithm: "RENO"}, Seed: 2}
+	if a.fingerprint() == c.fingerprint() {
+		t.Fatal("different seeds share a fingerprint")
+	}
+	d := JobSpec{Server: ServerSpec{Algorithm: "RENO"}, Condition: ConditionSpec{LossRate: 0.01}}
+	if a.fingerprint() == d.fingerprint() {
+		t.Fatal("different conditions share a fingerprint")
+	}
+}

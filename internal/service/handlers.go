@@ -1,0 +1,224 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/identify       synchronous single identification
+//	POST /v1/batch          submit an async batch; 202 + job ID
+//	GET  /v1/jobs/{id}      poll batch status and results
+//	DELETE /v1/jobs/{id}    cancel a queued or running batch
+//	GET  /v1/models         list registered models
+//	POST /v1/models/reload  hot-swap file-backed models from disk
+//	GET  /healthz           liveness + model inventory
+//	GET  /metrics           service counters (JSON)
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/identify", s.handleIdentify)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /v1/models", s.handleModels)
+	mux.HandleFunc("POST /v1/models/reload", s.handleReload)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s.countRequests(mux)
+}
+
+// countRequests feeds the requests_total counter.
+func (s *Service) countRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.requests.Add(1)
+		next.ServeHTTP(w, r)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// maxBodyBytes bounds request bodies so an oversized POST cannot buffer
+// unbounded JSON into memory before MaxBatchJobs is ever consulted (a
+// MaxBatchJobs-sized batch of fully specified jobs fits comfortably).
+const maxBodyBytes = 16 << 20
+
+// errBodyTooLarge marks a rejected oversized body (mapped to 413).
+var errBodyTooLarge = errors.New("request body exceeds the 16 MiB limit")
+
+// decodeBody strictly decodes a JSON request body into v (unknown fields
+// are rejected so typos in specs fail loudly instead of probing defaults),
+// reading at most maxBodyBytes.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return errBodyTooLarge
+		}
+		return fmt.Errorf("decoding request body: %v", err)
+	}
+	return nil
+}
+
+// writeBodyError answers a decodeBody failure with the right status.
+func writeBodyError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	if errors.Is(err, errBodyTooLarge) {
+		status = http.StatusRequestEntityTooLarge
+	}
+	writeError(w, status, "%v", err)
+}
+
+func (s *Service) handleIdentify(w http.ResponseWriter, r *http.Request) {
+	var req IdentifyRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeBodyError(w, err)
+		return
+	}
+	resp, err := s.identify(r.Context(), req.Model, req.JobSpec)
+	if err != nil {
+		status := http.StatusBadRequest
+		switch {
+		case errors.Is(err, ErrNoModel):
+			status = http.StatusNotFound
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			// The client went away while we waited for a probe slot; the
+			// status is moot but 503 is the honest one.
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeBodyError(w, err)
+		return
+	}
+	j, err := s.submit(req)
+	if err != nil {
+		switch {
+		case errors.Is(err, errQueueFull), errors.Is(err, errShuttingDown):
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+		case errors.Is(err, ErrNoModel):
+			writeError(w, http.StatusNotFound, "%v", err)
+		default:
+			writeError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, BatchAccepted{
+		JobID:  j.id,
+		Status: "/v1/jobs/" + j.id,
+		Total:  len(j.specs),
+	})
+}
+
+func (s *Service) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Service) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	j.requestCancel()
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Service) handleModels(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"models": s.modelInfos()})
+}
+
+// reloadRequest optionally narrows POST /v1/models/reload to one model.
+// Models always reload from the file they were loaded from; accepting a
+// client-supplied path would let any API client probe or register
+// arbitrary server-readable files.
+type reloadRequest struct {
+	Name string `json:"name,omitempty"`
+}
+
+func (s *Service) handleReload(w http.ResponseWriter, r *http.Request) {
+	var req reloadRequest
+	if r.ContentLength != 0 {
+		if err := decodeBody(w, r, &req); err != nil {
+			writeBodyError(w, err)
+			return
+		}
+	}
+	var reloaded []*Model
+	var reloadErr error
+	if req.Name != "" {
+		m, err := s.registry.ReloadOne(req.Name)
+		if err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, ErrNoModel) {
+				status = http.StatusNotFound
+			}
+			writeError(w, status, "%v", err)
+			return
+		}
+		reloaded = []*Model{m}
+	} else {
+		// A failed file keeps its old entry serving while the others still
+		// swap, so report what actually happened: the applied swaps AND
+		// the per-model errors, never an error-only response that hides
+		// generation bumps.
+		reloaded, reloadErr = s.registry.Reload()
+	}
+	s.metrics.modelsReloaded.Add(int64(len(reloaded)))
+	infos := make([]ModelInfo, 0, len(reloaded))
+	for _, m := range reloaded {
+		infos = append(infos, newModelInfo(m))
+	}
+	body := map[string]any{"reloaded": infos}
+	status := http.StatusOK
+	if reloadErr != nil {
+		body["errors"] = strings.Split(reloadErr.Error(), "\n")
+		status = http.StatusInternalServerError
+	}
+	writeJSON(w, status, body)
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.registry.Len() == 0 {
+		status = "no models loaded"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status": status,
+		"models": s.registry.Names(),
+	})
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.snapshot())
+}

@@ -1,0 +1,138 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metrics aggregates the service counters exposed at GET /metrics. All
+// counters are monotonic except InFlight (a gauge).
+type metrics struct {
+	requests       atomic.Int64 // HTTP requests served, all endpoints
+	identifies     atomic.Int64 // identifications executed (sync + batch, cache misses)
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+	batchAccepted  atomic.Int64 // async jobs accepted
+	batchRejected  atomic.Int64 // async jobs rejected (queue full / bad request)
+	jobsCompleted  atomic.Int64
+	jobsFailed     atomic.Int64 // cancelled or shut down mid-run
+	inFlight       atomic.Int64 // probes currently executing (sync + batch)
+	modelsReloaded atomic.Int64
+
+	labelMu sync.Mutex
+	labels  map[string]int64 // identifications per reported label
+}
+
+func newMetrics() *metrics {
+	return &metrics{labels: map[string]int64{}}
+}
+
+// countLabel tallies one identification outcome under its reported label
+// (special shapes and invalid traces get their own buckets).
+func (m *metrics) countLabel(resp IdentifyResponse) {
+	label := resp.Label
+	switch {
+	case !resp.Valid:
+		label = "INVALID"
+	case resp.Special != "":
+		label = "SPECIAL:" + resp.Special
+	}
+	m.labelMu.Lock()
+	m.labels[label]++
+	m.labelMu.Unlock()
+}
+
+// MetricsSnapshot is the GET /metrics response body.
+type MetricsSnapshot struct {
+	Requests       int64 `json:"requests_total"`
+	Identifies     int64 `json:"identifications_total"`
+	InFlight       int64 `json:"in_flight"`
+	QueueDepth     int   `json:"queue_depth"`
+	Workers        int   `json:"workers"`
+	BatchAccepted  int64 `json:"batch_jobs_accepted"`
+	BatchRejected  int64 `json:"batch_jobs_rejected"`
+	JobsCompleted  int64 `json:"batch_jobs_completed"`
+	JobsFailed     int64 `json:"batch_jobs_failed"`
+	ModelsReloaded int64 `json:"models_reloaded"`
+
+	Cache struct {
+		Hits    int64   `json:"hits"`
+		Misses  int64   `json:"misses"`
+		HitRate float64 `json:"hit_rate"`
+		Entries int     `json:"entries"`
+		Max     int     `json:"max_entries"`
+	} `json:"cache"`
+
+	Labels map[string]int64 `json:"labels"`
+	Models []ModelInfo      `json:"models"`
+}
+
+// ModelInfo describes one registry entry in /metrics and reload responses.
+type ModelInfo struct {
+	Name       string `json:"name"`
+	Version    string `json:"version"`
+	Backend    string `json:"backend"`
+	Path       string `json:"path,omitempty"`
+	LoadedAt   string `json:"loaded_at"`
+	Generation int    `json:"generation"`
+	Default    bool   `json:"default,omitempty"`
+}
+
+// snapshot captures the counters plus live queue/cache/registry state.
+func (s *Service) snapshot() MetricsSnapshot {
+	m := s.metrics
+	var out MetricsSnapshot
+	out.Requests = m.requests.Load()
+	out.Identifies = m.identifies.Load()
+	out.InFlight = m.inFlight.Load()
+	out.QueueDepth = len(s.queue)
+	out.Workers = s.cfg.Workers
+	out.BatchAccepted = m.batchAccepted.Load()
+	out.BatchRejected = m.batchRejected.Load()
+	out.JobsCompleted = m.jobsCompleted.Load()
+	out.JobsFailed = m.jobsFailed.Load()
+	out.ModelsReloaded = m.modelsReloaded.Load()
+
+	out.Cache.Hits = m.cacheHits.Load()
+	out.Cache.Misses = m.cacheMisses.Load()
+	if total := out.Cache.Hits + out.Cache.Misses; total > 0 {
+		out.Cache.HitRate = float64(out.Cache.Hits) / float64(total)
+	}
+	out.Cache.Entries = s.cache.Len()
+	out.Cache.Max = s.cfg.CacheSize
+
+	out.Labels = map[string]int64{}
+	m.labelMu.Lock()
+	for k, v := range m.labels {
+		out.Labels[k] = v
+	}
+	m.labelMu.Unlock()
+
+	out.Models = s.modelInfos()
+	return out
+}
+
+// newModelInfo renders one registry entry for /metrics, /v1/models, and
+// reload responses.
+func newModelInfo(m *Model) ModelInfo {
+	return ModelInfo{
+		Name:       m.Name,
+		Version:    m.Version(),
+		Backend:    m.Backend,
+		Path:       m.Path,
+		LoadedAt:   m.LoadedAt.UTC().Format(time.RFC3339),
+		Generation: m.Generation,
+	}
+}
+
+func (s *Service) modelInfos() []ModelInfo {
+	models := s.registry.Snapshot()
+	out := make([]ModelInfo, 0, len(models))
+	for i, m := range models {
+		info := newModelInfo(m)
+		info.Default = i == 0
+		out = append(out, info)
+	}
+	return out
+}

@@ -1,0 +1,228 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Job states reported by GET /v1/jobs/{id}.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// job is one accepted async batch: its specs, its mutable progress, and a
+// cancel handle. The executor writes results as probes complete; status
+// polls read a consistent snapshot under mu.
+type job struct {
+	id    string
+	model string
+	specs []JobSpec
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	state     string
+	completed int
+	cacheHits int
+	errMsg    string
+	results   []IdentifyResponse
+}
+
+// complete records the result for spec index i.
+func (j *job) complete(i int, resp IdentifyResponse, fromCache bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.results[i] = resp
+	j.completed++
+	if fromCache {
+		j.cacheHits++
+	}
+}
+
+// requestCancel cancels the job's context and, when the job has not
+// started yet, flips it to cancelled immediately so DELETE responses and
+// status polls reflect the cancellation without waiting for a worker to
+// pop it (the worker still retires it when it drains to it). A running
+// job stays "running" until its in-flight probes wind down.
+func (j *job) requestCancel() {
+	j.cancel()
+	j.mu.Lock()
+	if j.state == StateQueued {
+		j.state = StateCancelled
+		j.errMsg = "cancelled before start"
+	}
+	j.mu.Unlock()
+}
+
+// tryStart atomically transitions queued -> running. It refuses when the
+// job already left the queued state (a racing requestCancel), so a
+// client-visible terminal "cancelled" can never regress to "running".
+func (j *job) tryStart() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	return true
+}
+
+func (j *job) fail(msg string) {
+	j.mu.Lock()
+	j.state = StateFailed
+	if j.ctx.Err() != nil {
+		j.state = StateCancelled
+	}
+	j.errMsg = msg
+	j.mu.Unlock()
+}
+
+func (j *job) finish() {
+	j.mu.Lock()
+	j.state = StateDone
+	j.mu.Unlock()
+}
+
+// status snapshots the job for GET /v1/jobs/{id}. Results are included
+// only once the job is done, so pollers see either progress counters or
+// the complete result set, never a torn mixture.
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:        j.id,
+		State:     j.state,
+		Total:     len(j.specs),
+		Completed: j.completed,
+		CacheHits: j.cacheHits,
+		Error:     j.errMsg,
+	}
+	if j.state == StateDone {
+		st.Results = append([]IdentifyResponse(nil), j.results...)
+	}
+	return st
+}
+
+// submit validates req, enqueues it, and returns the accepted job. A full
+// queue returns errQueueFull so the handler can answer 503.
+func (s *Service) submit(req BatchRequest) (*job, error) {
+	if err := s.validateBatch(req); err != nil {
+		s.metrics.batchRejected.Add(1)
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(s.ctx)
+	j := &job{
+		model:   req.Model,
+		specs:   req.Jobs,
+		ctx:     ctx,
+		cancel:  cancel,
+		state:   StateQueued,
+		results: make([]IdentifyResponse, len(req.Jobs)),
+	}
+	s.jobMu.Lock()
+	s.nextJob++
+	j.id = fmt.Sprintf("job-%d", s.nextJob)
+	s.jobs[j.id] = j
+	s.jobMu.Unlock()
+
+	reject := func(err error) (*job, error) {
+		s.jobMu.Lock()
+		delete(s.jobs, j.id)
+		s.jobMu.Unlock()
+		cancel()
+		s.metrics.batchRejected.Add(1)
+		return nil, err
+	}
+	// The enqueue happens under closeMu's read lock: once Close has taken
+	// the write lock and flipped closed, no job can slip into the buffered
+	// queue after the workers drained it, which would strand it in
+	// "queued" forever.
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return reject(errShuttingDown)
+	}
+	select {
+	case s.queue <- j:
+		s.metrics.batchAccepted.Add(1)
+		return j, nil
+	default:
+		return reject(errQueueFull)
+	}
+}
+
+// errQueueFull and errShuttingDown mark rejected submissions (mapped to
+// 503 by the handler).
+var (
+	errQueueFull    = fmt.Errorf("service: job queue is full, retry later")
+	errShuttingDown = fmt.Errorf("service: shutting down, not accepting jobs")
+)
+
+// lookupJob resolves a job ID for status polls and cancellation.
+func (s *Service) lookupJob(id string) (*job, bool) {
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// retire records that j reached a terminal state and enforces the
+// finished-job retention cap: the oldest finished jobs are dropped from
+// the store (their IDs then answer 404) so a resident server's memory
+// stays bounded under steady batch traffic.
+func (s *Service) retire(j *job) {
+	// Release the job's context registration on the service root context;
+	// without this every completed job would leak a cancelCtx node for
+	// the life of the process.
+	j.cancel()
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	s.finished = append(s.finished, j.id)
+	for len(s.finished) > s.cfg.JobRetention {
+		delete(s.jobs, s.finished[0])
+		s.finished = s.finished[1:]
+	}
+}
+
+// worker drains the batch queue until the service closes: the bounded
+// consumer side of POST /v1/batch.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.ctx.Done():
+			s.drainQueue()
+			return
+		case j := <-s.queue:
+			if j.ctx.Err() != nil || !j.tryStart() {
+				j.fail("cancelled before start")
+				s.metrics.jobsFailed.Add(1)
+				s.retire(j)
+				continue
+			}
+			s.runBatch(j)
+			s.retire(j)
+		}
+	}
+}
+
+// drainQueue marks still-queued jobs failed during shutdown so pollers
+// are not left waiting on jobs that will never run.
+func (s *Service) drainQueue() {
+	for {
+		select {
+		case j := <-s.queue:
+			j.fail("service shut down before the job ran")
+			s.metrics.jobsFailed.Add(1)
+			s.retire(j)
+		default:
+			return
+		}
+	}
+}

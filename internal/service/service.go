@@ -1,0 +1,366 @@
+// Package service turns the CAAI pipeline into a resident
+// identification-as-a-service: an HTTP/JSON API layered on the engine
+// worker pool. A Service loads trained models once (into a hot-swappable
+// Registry), answers synchronous identifications on POST /v1/identify,
+// runs large batches asynchronously through a bounded job queue feeding
+// engine.IdentifyBatch (POST /v1/batch + GET /v1/jobs/{id}), memoizes
+// results in an LRU keyed by (model version, server spec, condition
+// fingerprint), and reports its own health and counters on GET /healthz
+// and GET /metrics.
+package service
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/netem"
+	"repro/internal/probe"
+	"repro/internal/websim"
+)
+
+// Config tunes a Service. The zero value of every field is usable.
+type Config struct {
+	// CacheSize bounds the LRU result cache; 0 means DefaultCacheSize,
+	// negative disables caching.
+	CacheSize int
+	// QueueSize bounds the pending async batch jobs; 0 means
+	// DefaultQueueSize. Submissions beyond it are rejected with 503.
+	QueueSize int
+	// Workers is how many batch jobs execute concurrently; 0 means 1.
+	// Each running job fans its probes out on the engine pool.
+	Workers int
+	// Parallelism bounds the engine pool per running batch and the number
+	// of concurrent synchronous /v1/identify probes (excess sync requests
+	// queue on a semaphore rather than saturating the CPU); 0 = all CPUs.
+	Parallelism int
+	// MaxBatchJobs caps the jobs accepted in one POST /v1/batch; 0 means
+	// DefaultMaxBatchJobs.
+	MaxBatchJobs int
+	// JobRetention bounds how many finished (done/failed/cancelled) jobs
+	// stay pollable: once exceeded, the oldest-finished jobs are dropped
+	// and their IDs answer 404. Keeps a resident server's memory bounded
+	// under steady batch traffic. <= 0 means DefaultJobRetention.
+	JobRetention int
+	// Probe customizes trace gathering (zero = paper defaults).
+	Probe probe.Config
+}
+
+// Service defaults.
+const (
+	DefaultCacheSize    = 4096
+	DefaultQueueSize    = 64
+	DefaultMaxBatchJobs = 10_000
+	DefaultJobRetention = 256
+)
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize == 0 {
+		c.CacheSize = DefaultCacheSize
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = DefaultQueueSize
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.MaxBatchJobs <= 0 {
+		c.MaxBatchJobs = DefaultMaxBatchJobs
+	}
+	if c.JobRetention <= 0 {
+		c.JobRetention = DefaultJobRetention
+	}
+	return c
+}
+
+// Service is a resident identification server. Create with New, wire
+// Handler into an http.Server, and Close on shutdown.
+type Service struct {
+	cfg      Config
+	registry *Registry
+	cache    *resultCache
+	metrics  *metrics
+
+	queue chan *job
+	// syncSem bounds concurrent synchronous-path probes at
+	// cfg.Parallelism, mirroring the engine pool bound on the batch path.
+	syncSem chan struct{}
+
+	// flight coalesces concurrent identical sync identifications: the
+	// first request probes, later ones wait for its result instead of
+	// repeating the same deterministic work.
+	flightMu sync.Mutex
+	flight   map[string]*inflightCall
+
+	jobMu    sync.Mutex
+	jobs     map[string]*job
+	finished []string // terminal job IDs, oldest first (retention queue)
+	nextJob  int64
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	// closeMu orders submissions against Close: submit enqueues under the
+	// read lock, Close flips closed under the write lock, so every
+	// accepted job is in the queue before the workers begin draining and
+	// none can be stranded in "queued" by a racing shutdown.
+	closeMu sync.RWMutex
+	closed  bool
+}
+
+// New starts a Service answering with reg's models: cfg.Workers executor
+// goroutines begin draining the batch queue immediately.
+func New(reg *Registry, cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	syncWidth := cfg.Parallelism
+	if syncWidth <= 0 {
+		syncWidth = engine.DefaultParallelism()
+	}
+	s := &Service{
+		cfg:      cfg,
+		registry: reg,
+		cache:    newResultCache(cfg.CacheSize),
+		metrics:  newMetrics(),
+		queue:    make(chan *job, cfg.QueueSize),
+		syncSem:  make(chan struct{}, syncWidth),
+		flight:   map[string]*inflightCall{},
+		jobs:     map[string]*job{},
+		ctx:      ctx,
+		cancel:   cancel,
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Registry exposes the model registry (for reload tooling).
+func (s *Service) Registry() *Registry { return s.registry }
+
+// Close stops the batch executors and cancels running jobs. In-flight
+// probes finish; queued jobs are marked failed. Safe to call twice.
+func (s *Service) Close() {
+	s.closeMu.Lock()
+	s.closed = true
+	s.closeMu.Unlock()
+	s.cancel()
+	s.wg.Wait()
+}
+
+// identify answers one job spec against the named model, consulting the
+// result cache first. It is the shared core of the synchronous endpoint
+// and the batch executor. ctx aborts waiting (on the singleflight leader
+// or the semaphore) when the caller has gone away, so abandoned requests
+// stop occupying probe slots.
+func (s *Service) identify(ctx context.Context, modelName string, spec JobSpec) (IdentifyResponse, error) {
+	model, err := s.registry.Get(modelName)
+	if err != nil {
+		return IdentifyResponse{}, err
+	}
+	spec = spec.normalize()
+	// Validate before consulting the cache so rejected requests do not
+	// skew the hit-rate counters.
+	server, err := spec.Server.build()
+	if err != nil {
+		return IdentifyResponse{}, err
+	}
+	cond, err := spec.Condition.build()
+	if err != nil {
+		return IdentifyResponse{}, err
+	}
+	key := model.Version() + "|" + spec.fingerprint()
+
+	// Singleflight: identification is deterministic per key, so concurrent
+	// identical requests share one probe. Followers count as cache hits
+	// (they are served from memory); only the leader counts a miss. A
+	// leader that aborts before probing (context cancelled at the
+	// semaphore) closes done without a result; waiting followers then loop
+	// and elect a new leader.
+	var c *inflightCall
+	for {
+		if resp, ok := s.cache.Get(key); ok {
+			s.metrics.cacheHits.Add(1)
+			resp.Cached = true
+			return resp, nil
+		}
+		s.flightMu.Lock()
+		if lead, inFlight := s.flight[key]; inFlight {
+			s.flightMu.Unlock()
+			select {
+			case <-lead.done:
+			case <-ctx.Done():
+				return IdentifyResponse{}, ctx.Err()
+			}
+			if !lead.ok {
+				continue // leader aborted without probing; try again
+			}
+			s.metrics.cacheHits.Add(1)
+			resp := lead.resp
+			resp.Cached = true
+			return resp, nil
+		}
+		c = &inflightCall{done: make(chan struct{})}
+		s.flight[key] = c
+		s.flightMu.Unlock()
+		break
+	}
+	defer func() {
+		s.flightMu.Lock()
+		delete(s.flight, key)
+		s.flightMu.Unlock()
+		close(c.done)
+	}()
+
+	select {
+	case s.syncSem <- struct{}{}:
+	case <-ctx.Done():
+		return IdentifyResponse{}, ctx.Err()
+	}
+	defer func() { <-s.syncSem }()
+	s.metrics.cacheMisses.Add(1)
+	s.metrics.inFlight.Add(1)
+	defer s.metrics.inFlight.Add(-1)
+	rng := rand.New(rand.NewSource(spec.Seed))
+	id := model.Identifier().Identify(server, cond, s.cfg.Probe, rng)
+	s.metrics.identifies.Add(1)
+	resp := toResponse(model.Version(), server.Name, id)
+	s.metrics.countLabel(resp)
+	s.cache.Put(key, resp)
+	c.resp, c.ok = resp, true
+	return resp, nil
+}
+
+// inflightCall is one in-progress identification shared by coalesced
+// requests: done closes once the leader finishes. ok distinguishes a
+// result from a leader that aborted before probing.
+type inflightCall struct {
+	done chan struct{}
+	resp IdentifyResponse
+	ok   bool
+}
+
+// countingIdentifier wraps the pipeline identifier so the in_flight gauge
+// counts individual probes on the batch path, the same unit the
+// synchronous path reports.
+type countingIdentifier struct {
+	id *core.Identifier
+	m  *metrics
+}
+
+func (c countingIdentifier) Identify(server *websim.Server, cond netem.Condition, cfg probe.Config, rng *rand.Rand) core.Identification {
+	c.m.inFlight.Add(1)
+	defer c.m.inFlight.Add(-1)
+	return c.id.Identify(server, cond, cfg, rng)
+}
+
+// validateBatch resolves the model and pre-validates every job spec so a
+// malformed batch is rejected at submission time, not mid-run.
+func (s *Service) validateBatch(req BatchRequest) error {
+	if len(req.Jobs) == 0 {
+		return fmt.Errorf("batch needs at least one job")
+	}
+	if len(req.Jobs) > s.cfg.MaxBatchJobs {
+		return fmt.Errorf("batch of %d jobs exceeds the %d-job limit", len(req.Jobs), s.cfg.MaxBatchJobs)
+	}
+	if _, err := s.registry.Get(req.Model); err != nil {
+		return err
+	}
+	for i, j := range req.Jobs {
+		if _, err := j.Server.build(); err != nil {
+			return fmt.Errorf("job %d: %v", i, err)
+		}
+		if _, err := j.Condition.build(); err != nil {
+			return fmt.Errorf("job %d: %v", i, err)
+		}
+	}
+	return nil
+}
+
+// runBatch executes one accepted batch job: cached specs are answered
+// from memory, the rest go through engine.IdentifyBatch on the worker
+// pool, streaming per-probe completions into the job's progress counter.
+func (s *Service) runBatch(j *job) {
+	model, err := s.registry.Get(j.model)
+	if err != nil {
+		// The model was validated at submission; it can only vanish if the
+		// registry shrank since, which Registry does not support -- but
+		// fail the job cleanly rather than panic if that ever changes.
+		j.fail(err.Error())
+		s.metrics.jobsFailed.Add(1)
+		return
+	}
+	version := model.Version()
+
+	// Partition into cache hits (answered immediately) and misses, and
+	// coalesce identical misses: results are deterministic per key, so N
+	// copies of one spec in a batch cost one probe, fanned out to all N
+	// slots when it completes (duplicates count as cache hits, like the
+	// sync path's singleflight followers). Known trade-off: the batch
+	// prepass reads only the cache, not the sync path's in-flight map, so
+	// a batch racing a concurrent identical /v1/identify probe can repeat
+	// that one probe -- a bounded duplication we accept to keep the batch
+	// executor from blocking on sync traffic.
+	type missGroup struct {
+		key      string
+		specIdxs []int
+	}
+	var groups []missGroup
+	groupOf := map[string]int{}
+	engineJobs := make([]engine.Job, 0, len(j.specs))
+	for i, raw := range j.specs {
+		spec := raw.normalize()
+		key := version + "|" + spec.fingerprint()
+		if resp, ok := s.cache.Get(key); ok {
+			s.metrics.cacheHits.Add(1)
+			resp.Cached = true
+			j.complete(i, resp, true)
+			continue
+		}
+		if gi, dup := groupOf[key]; dup {
+			groups[gi].specIdxs = append(groups[gi].specIdxs, i)
+			continue
+		}
+		s.metrics.cacheMisses.Add(1)
+		groupOf[key] = len(groups)
+		groups = append(groups, missGroup{key: key, specIdxs: []int{i}})
+		server, _ := spec.Server.build()  // validated at submission
+		cond, _ := spec.Condition.build() // validated at submission
+		engineJobs = append(engineJobs, engine.Job{Server: server, Cond: cond, Seed: spec.Seed})
+	}
+
+	if len(engineJobs) > 0 {
+		id := countingIdentifier{id: model.Identifier(), m: s.metrics}
+		engine.IdentifyBatch[core.Identification](id, engineJobs, engine.BatchConfig[core.Identification]{
+			Ctx:         j.ctx,
+			Parallelism: s.cfg.Parallelism,
+			Probe:       s.cfg.Probe,
+			OnResult: func(r engine.Result[core.Identification]) {
+				g := groups[r.Index]
+				resp := toResponse(version, r.Job.Server.Name, r.Out)
+				s.metrics.identifies.Add(1)
+				s.metrics.countLabel(resp)
+				s.cache.Put(g.key, resp)
+				j.complete(g.specIdxs[0], resp, false)
+				resp.Cached = true
+				for _, si := range g.specIdxs[1:] {
+					s.metrics.cacheHits.Add(1)
+					j.complete(si, resp, true)
+				}
+			},
+		})
+	}
+
+	if err := j.ctx.Err(); err != nil {
+		j.fail("cancelled: " + err.Error())
+		s.metrics.jobsFailed.Add(1)
+		return
+	}
+	j.finish()
+	s.metrics.jobsCompleted.Add(1)
+}

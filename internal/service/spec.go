@@ -1,0 +1,228 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/netem"
+	"repro/internal/trace"
+	"repro/internal/websim"
+)
+
+// ServerSpec is the wire description of a simulated Web server to probe.
+// Only Algorithm is required; everything else overrides the cooperative
+// testbed defaults (see websim.Testbed), which lets clients reproduce the
+// census's awkward servers -- pipelining limits, tiny pages, F-RTO,
+// ssthresh caching, proxies -- over the API.
+type ServerSpec struct {
+	// Name labels the server in results; defaults to "testbed-<algorithm>".
+	Name string `json:"name,omitempty"`
+	// Algorithm is the congestion avoidance algorithm (a cc registry key).
+	Algorithm string `json:"algorithm"`
+	// ProxyAlgorithm models a TCP proxy splitting the connection.
+	ProxyAlgorithm string `json:"proxy_algorithm,omitempty"`
+	// MinMSS is the smallest MSS the server accepts (default 100).
+	MinMSS int `json:"min_mss,omitempty"`
+	// MaxRequests caps pipelined HTTP requests (default unlimited).
+	MaxRequests int `json:"max_requests,omitempty"`
+	// DefaultPageBytes / LongestPageBytes are the page sizes (default 64 MiB).
+	DefaultPageBytes int64 `json:"default_page_bytes,omitempty"`
+	LongestPageBytes int64 `json:"longest_page_bytes,omitempty"`
+	// TCP stack quirks (all default off).
+	FRTO            bool `json:"frto,omitempty"`
+	SsthreshCaching bool `json:"ssthresh_caching,omitempty"`
+	IgnoreRTO       bool `json:"ignore_rto,omitempty"`
+}
+
+// build materializes the spec into a websim.Server, starting from the
+// testbed defaults.
+func (s ServerSpec) build() (*websim.Server, error) {
+	if s.Algorithm == "" {
+		return nil, fmt.Errorf("server.algorithm is required")
+	}
+	if _, err := cc.New(s.Algorithm); err != nil {
+		return nil, fmt.Errorf("server.algorithm: %v", err)
+	}
+	if s.ProxyAlgorithm != "" {
+		if _, err := cc.New(s.ProxyAlgorithm); err != nil {
+			return nil, fmt.Errorf("server.proxy_algorithm: %v", err)
+		}
+	}
+	srv := websim.Testbed(s.Algorithm)
+	if s.Name != "" {
+		srv.Name = s.Name
+	}
+	srv.ProxyAlgorithm = s.ProxyAlgorithm
+	if s.MinMSS > 0 {
+		srv.MinMSS = s.MinMSS
+	}
+	if s.MaxRequests > 0 {
+		srv.MaxRequests = s.MaxRequests
+	}
+	if s.DefaultPageBytes > 0 {
+		srv.DefaultPageBytes = s.DefaultPageBytes
+	}
+	if s.LongestPageBytes > 0 {
+		srv.LongestPageBytes = s.LongestPageBytes
+	}
+	srv.FRTO = s.FRTO
+	srv.SsthreshCaching = s.SsthreshCaching
+	srv.IgnoreRTO = s.IgnoreRTO
+	return srv, nil
+}
+
+// ConditionSpec is the wire description of the emulated network path.
+type ConditionSpec struct {
+	// MeanRTTMs is the mean path RTT in milliseconds (default 50).
+	MeanRTTMs float64 `json:"mean_rtt_ms,omitempty"`
+	// RTTStdDevMs is the RTT standard deviation in milliseconds.
+	RTTStdDevMs float64 `json:"rtt_stddev_ms,omitempty"`
+	// LossRate is the per-packet loss probability in [0, 1].
+	LossRate float64 `json:"loss_rate,omitempty"`
+}
+
+func (c ConditionSpec) build() (netem.Condition, error) {
+	if c.MeanRTTMs < 0 || c.RTTStdDevMs < 0 {
+		return netem.Condition{}, fmt.Errorf("condition RTTs must be non-negative")
+	}
+	if c.LossRate < 0 || c.LossRate > 1 {
+		return netem.Condition{}, fmt.Errorf("condition.loss_rate must be in [0, 1]")
+	}
+	mean := c.MeanRTTMs
+	if mean == 0 {
+		mean = 50
+	}
+	return netem.Condition{
+		MeanRTT:   time.Duration(mean * float64(time.Millisecond)),
+		RTTStdDev: time.Duration(c.RTTStdDevMs * float64(time.Millisecond)),
+		LossRate:  c.LossRate,
+	}, nil
+}
+
+// JobSpec is one identification request: a server under a condition.
+type JobSpec struct {
+	Server    ServerSpec    `json:"server"`
+	Condition ConditionSpec `json:"condition"`
+	// Seed pins the job's randomness so results are reproducible (and
+	// cacheable). 0 is normalized to 1: the service is deterministic by
+	// default, vary Seed explicitly to resample.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// normalize applies the spec defaults that participate in the cache
+// fingerprint, so equivalent requests share a cache entry.
+func (j JobSpec) normalize() JobSpec {
+	if j.Seed == 0 {
+		j.Seed = 1
+	}
+	if j.Condition.MeanRTTMs == 0 {
+		j.Condition.MeanRTTMs = 50
+	}
+	if j.Server.Name == "" {
+		j.Server.Name = "testbed-" + j.Server.Algorithm
+	}
+	return j
+}
+
+// fingerprint canonically encodes the normalized spec. Combined with the
+// model version it is the result-cache key: identification is a pure
+// function of (model, server, condition, seed).
+func (j JobSpec) fingerprint() string {
+	b, err := json.Marshal(j.normalize())
+	if err != nil {
+		// Marshalling a plain struct of scalars cannot fail.
+		panic("service: fingerprinting job spec: " + err.Error())
+	}
+	return string(b)
+}
+
+// IdentifyRequest is the POST /v1/identify body.
+type IdentifyRequest struct {
+	// Model selects a registry model by name; empty uses the default.
+	Model string `json:"model,omitempty"`
+	JobSpec
+}
+
+// IdentifyResponse is the identification outcome on the wire.
+type IdentifyResponse struct {
+	// Model is the full version of the model that answered (name@generation).
+	Model string `json:"model"`
+	// Server echoes the probed server's name.
+	Server string `json:"server"`
+	// Label, Confidence, Special, Valid, Reason, Wmax and MSS mirror
+	// core.Identification.
+	Label      string  `json:"label,omitempty"`
+	Confidence float64 `json:"confidence,omitempty"`
+	Special    string  `json:"special,omitempty"`
+	Valid      bool    `json:"valid"`
+	Reason     string  `json:"reason,omitempty"`
+	Wmax       int     `json:"wmax,omitempty"`
+	MSS        int     `json:"mss,omitempty"`
+	// Features is the extracted feature vector (omitted for invalid and
+	// special traces).
+	Features []float64 `json:"features,omitempty"`
+	// SimulatedMs is the simulated probing time in milliseconds.
+	SimulatedMs float64 `json:"simulated_ms"`
+	// Cached reports whether the result came from the LRU cache.
+	Cached bool `json:"cached"`
+	// Text is the human-readable rendering of the identification.
+	Text string `json:"text"`
+}
+
+// toResponse converts a pipeline identification to its wire form.
+func toResponse(modelVersion, server string, id core.Identification) IdentifyResponse {
+	resp := IdentifyResponse{
+		Model:       modelVersion,
+		Server:      server,
+		Valid:       id.Valid,
+		Wmax:        id.Wmax,
+		MSS:         id.MSS,
+		SimulatedMs: float64(id.Elapsed) / float64(time.Millisecond),
+		Text:        id.String(),
+	}
+	switch {
+	case !id.Valid:
+		resp.Reason = string(id.Reason)
+	case id.Special != trace.SpecialNone:
+		resp.Special = id.Special.String()
+	default:
+		resp.Label = id.Label
+		resp.Confidence = id.Confidence
+		resp.Features = append([]float64(nil), id.Vector.Slice()...)
+	}
+	return resp
+}
+
+// BatchRequest is the POST /v1/batch body.
+type BatchRequest struct {
+	// Model selects a registry model by name; empty uses the default.
+	Model string `json:"model,omitempty"`
+	// Jobs are the identification jobs; at least one is required.
+	Jobs []JobSpec `json:"jobs"`
+}
+
+// BatchAccepted is the POST /v1/batch response: poll Status for results.
+type BatchAccepted struct {
+	JobID  string `json:"job_id"`
+	Status string `json:"status_url"`
+	Total  int    `json:"total"`
+}
+
+// JobStatus is the GET /v1/jobs/{id} response.
+type JobStatus struct {
+	ID        string             `json:"id"`
+	State     string             `json:"state"`
+	Total     int                `json:"total"`
+	Completed int                `json:"completed"`
+	CacheHits int                `json:"cache_hits"`
+	Error     string             `json:"error,omitempty"`
+	Results   []IdentifyResponse `json:"results,omitempty"`
+}
+
+// errorResponse is the JSON error envelope every non-2xx response uses.
+type errorResponse struct {
+	Error string `json:"error"`
+}
