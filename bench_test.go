@@ -8,25 +8,13 @@ package caai
 // cmd/caai-figures binary prints the full rows at paper scale.
 
 import (
-	"encoding/json"
-	"fmt"
-	"math/rand"
-	"net/http"
-	"net/http/httptest"
-	"strings"
 	"sync"
 	"testing"
 
+	"repro/internal/bench"
 	"repro/internal/cc"
-	"repro/internal/core"
-	"repro/internal/engine"
 	"repro/internal/experiments"
-	"repro/internal/feature"
 	"repro/internal/forest"
-	"repro/internal/netem"
-	"repro/internal/probe"
-	"repro/internal/service"
-	"repro/internal/websim"
 )
 
 // benchCtx lazily builds one reduced-scale experiment context shared by
@@ -285,37 +273,22 @@ func BenchmarkTBITSurvey(b *testing.B) {
 }
 
 // --- Microbenchmarks of the hot paths ---
+//
+// These delegate to internal/bench, the shared suite cmd/caai-bench runs
+// standalone and persists to BENCH_<n>.json (see DESIGN.md section on the
+// perf-regression harness). Names here stay stable because the perf
+// history and the CI budget gate reference the suite's measurements.
 
 // BenchmarkGatherSession measures one full environment-A gathering session
-// against a lossless CUBIC2 testbed server.
+// against a lossless CUBIC2 testbed server with a reused prober.
 func BenchmarkGatherSession(b *testing.B) {
-	rng := rand.New(rand.NewSource(1))
-	p := probe.New(probe.Config{}, netem.Lossless, rng)
-	server := websim.Testbed("CUBIC2")
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := p.GatherEnv(server, probe.EnvA(), 256, 536, 64<<20); err != nil {
-			b.Fatal(err)
-		}
-	}
+	bench.GatherSession()(b)
 }
 
-// BenchmarkFeatureExtraction measures CAAI step 2 on a gathered trace.
+// BenchmarkFeatureExtraction measures CAAI step 2 on a gathered trace with
+// reused scratch.
 func BenchmarkFeatureExtraction(b *testing.B) {
-	rng := rand.New(rand.NewSource(2))
-	p := probe.New(probe.Config{}, netem.Lossless, rng)
-	ta, err := p.GatherEnv(websim.Testbed("CUBIC2"), probe.EnvA(), 256, 536, 64<<20)
-	if err != nil {
-		b.Fatal(err)
-	}
-	tb, err := p.GatherEnv(websim.Testbed("CUBIC2"), probe.EnvB(), 256, 536, 64<<20)
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = feature.Extract(ta, tb)
-	}
+	bench.FeatureExtraction()(b)
 }
 
 // BenchmarkForestClassify measures CAAI step 3 on a trained model.
@@ -325,11 +298,22 @@ func BenchmarkForestClassify(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	vec := []float64{0.7, 18, 110, 0.7, 11, 83, 1, 9}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		model.Classify(vec)
+	bench.ForestClassify(model)(b)
+}
+
+// BenchmarkForestVotesInto measures the arena vote walk with a reused
+// buffer (the zero-allocation classification core).
+func BenchmarkForestVotesInto(b *testing.B) {
+	ctx := benchCtx(b)
+	model, err := ctx.Model()
+	if err != nil {
+		b.Fatal(err)
 	}
+	f, ok := model.(*forest.Forest)
+	if !ok {
+		b.Skipf("model backend is %T, not a forest", model)
+	}
+	bench.ForestVotesInto(f)(b)
 }
 
 // BenchmarkForestTrain measures growing the paper's K=80 forest.
@@ -370,34 +354,15 @@ func BenchmarkAlgorithmOnAck(b *testing.B) {
 
 // BenchmarkIdentifyBatch measures the batch identification engine: many
 // (server, condition) jobs through a pretrained model on the bounded
-// worker pool, the production train-once/identify-many hot path.
+// worker pool with per-worker sessions, the production
+// train-once/identify-many hot path.
 func BenchmarkIdentifyBatch(b *testing.B) {
 	ctx := benchCtx(b)
 	model, err := ctx.Model()
 	if err != nil {
 		b.Fatal(err)
 	}
-	id := core.NewIdentifier(model)
-	rng := rand.New(rand.NewSource(77))
-	db := netem.MeasuredDatabase()
-	jobs := make([]engine.Job, 64)
-	names := cc.CAAINames()
-	for i := range jobs {
-		jobs[i] = engine.Job{Server: websim.Testbed(names[i%len(names)]), Cond: db.Sample(rng)}
-	}
-	b.ResetTimer()
-	var valid int
-	for i := 0; i < b.N; i++ {
-		results := engine.IdentifyBatch[core.Identification](id, jobs, engine.BatchConfig[core.Identification]{Seed: int64(i)})
-		valid = 0
-		for _, r := range results {
-			if r.Out.Valid {
-				valid++
-			}
-		}
-	}
-	b.ReportMetric(float64(valid)/float64(len(jobs))*100, "valid-%")
-	b.ReportMetric(float64(len(jobs)), "jobs/op")
+	bench.IdentifyBatch(model, 64)(b)
 }
 
 // BenchmarkServiceIdentify measures the HTTP service path of
@@ -411,45 +376,6 @@ func BenchmarkServiceIdentify(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	newHandler := func() http.Handler {
-		reg := service.NewRegistry()
-		reg.Add("bench", model)
-		svc := service.New(reg, service.Config{})
-		b.Cleanup(svc.Close)
-		return svc.Handler()
-	}
-	do := func(b *testing.B, h http.Handler, seed int64) service.IdentifyResponse {
-		body := fmt.Sprintf(`{"server":{"algorithm":"CUBIC2"},"condition":{"loss_rate":0.005},"seed":%d}`, seed)
-		req := httptest.NewRequest(http.MethodPost, "/v1/identify", strings.NewReader(body))
-		rec := httptest.NewRecorder()
-		h.ServeHTTP(rec, req)
-		if rec.Code != http.StatusOK {
-			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
-		}
-		var resp service.IdentifyResponse
-		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
-			b.Fatal(err)
-		}
-		return resp
-	}
-
-	b.Run("hit", func(b *testing.B) {
-		h := newHandler()
-		do(b, h, 1) // prime the cache
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			if resp := do(b, h, 1); !resp.Cached {
-				b.Fatal("expected a cache hit")
-			}
-		}
-	})
-	b.Run("miss", func(b *testing.B) {
-		h := newHandler()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			if resp := do(b, h, int64(i+1)); resp.Cached {
-				b.Fatal("unexpected cache hit")
-			}
-		}
-	})
+	b.Run("hit", bench.ServiceIdentify(model, false))
+	b.Run("miss", bench.ServiceIdentify(model, true))
 }

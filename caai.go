@@ -207,8 +207,15 @@ func (id *Identifier) IdentifyWithConfig(server *Server, cond Condition, cfg Pro
 // IdentifyBatch probes every job on a bounded worker pool and returns the
 // identifications in input order. Results are deterministic for a fixed
 // (jobs, opts.Seed) regardless of opts.Parallelism; set opts.OnResult to
-// stream results as probes complete.
+// stream results as probes complete. Each pool worker runs a reusable
+// pipeline session, so large batches recycle probe and feature scratch
+// instead of allocating per job.
 func (id *Identifier) IdentifyBatch(jobs []BatchJob, opts BatchOptions) []BatchResult {
+	if opts.NewWorkerIdentifier == nil {
+		opts.NewWorkerIdentifier = func() engine.Identifier[core.Identification] {
+			return id.core.NewSession()
+		}
+	}
 	return engine.IdentifyBatch[core.Identification](id.core, jobs, opts)
 }
 

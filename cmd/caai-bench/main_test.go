@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// TestCompareMode: -compare renders a before/after table without running
+// the (expensive) suite.
+func TestCompareMode(t *testing.T) {
+	dir := t.TempDir()
+	before := bench.NewPoint("before", "quick")
+	before.Benchmarks = []bench.Result{{Name: "service/identify_miss", NsPerOp: 900000, AllocsPerOp: 594}}
+	after := bench.NewPoint("after", "quick")
+	after.Benchmarks = []bench.Result{{Name: "service/identify_miss", NsPerOp: 450000, AllocsPerOp: 88}}
+	b0 := filepath.Join(dir, "BENCH_0.json")
+	b1 := filepath.Join(dir, "BENCH_1.json")
+	if err := bench.WritePoint(b0, before); err != nil {
+		t.Fatal(err)
+	}
+	if err := bench.WritePoint(b1, after); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if err := run([]string{"-compare", b0, b1}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "2.00x") {
+		t.Fatalf("compare output missing speedup:\n%s", out.String())
+	}
+}
+
+// TestCompareModeArgValidation: -compare without two files is an error.
+func TestCompareModeArgValidation(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-compare", "one.json"}, &out); err == nil {
+		t.Fatal("expected an argument error")
+	}
+}
+
+// TestBudgetsFileParses: the checked-in budget file must stay loadable and
+// reference only suite benchmark names.
+func TestBudgetsFileParses(t *testing.T) {
+	path := filepath.Join("..", "..", "bench_budget.json")
+	if _, err := os.Stat(path); err != nil {
+		t.Skipf("budget file not present: %v", err)
+	}
+	budget, err := bench.LoadBudget(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := budget["service/identify_miss"]; !ok {
+		t.Fatal("budget must gate service/identify_miss (the cache-miss hot path)")
+	}
+	for name, lim := range budget {
+		if lim.MaxAllocsPerOp != nil && *lim.MaxAllocsPerOp < 0 {
+			t.Fatalf("budget %s has a negative alloc limit", name)
+		}
+		if lim.MaxNsPerOp != nil && *lim.MaxNsPerOp < 0 {
+			t.Fatalf("budget %s has a negative ns limit", name)
+		}
+	}
+	// The zero-alloc budgets must be explicit zeros (enforced), not
+	// absent fields.
+	if lim := budget["forest/votes_into"]; lim.MaxAllocsPerOp == nil || *lim.MaxAllocsPerOp != 0 {
+		t.Fatal("forest/votes_into must carry an explicit 0 allocs/op budget")
+	}
+}

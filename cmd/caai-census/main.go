@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/classify"
 	"repro/internal/experiments"
+	"repro/internal/prof"
 )
 
 func main() {
@@ -30,7 +31,15 @@ func run() error {
 	conditions := flag.Int("conditions", 100, "training conditions per (algorithm, wmax) pair")
 	seed := flag.Int64("seed", 2011, "random seed")
 	model := flag.String("model", "", "load a saved model instead of retraining (see caai-train -save)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stop, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer stop()
 
 	ctx := experiments.NewContext()
 	ctx.CensusServers = *servers

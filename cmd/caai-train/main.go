@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/classify"
 	"repro/internal/experiments"
+	"repro/internal/prof"
 )
 
 func main() {
@@ -32,7 +33,15 @@ func run() error {
 	seed := flag.Int64("seed", 2011, "random seed")
 	sweep := flag.Bool("sweep", false, "also sweep K and F (Fig. 12)")
 	save := flag.String("save", "", "write the trained model to this path")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stop, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer stop()
 
 	ctx := experiments.NewContext()
 	ctx.TrainingConditions = *conditions

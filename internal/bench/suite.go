@@ -1,0 +1,213 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/feature"
+	"repro/internal/forest"
+	"repro/internal/netem"
+	"repro/internal/probe"
+	"repro/internal/service"
+	"repro/internal/websim"
+)
+
+// Suite builds the hot-path benchmark cases against ctx's (lazily trained
+// and cached) model. These are the same measurements `go test -bench`
+// exposes through bench_test.go; caai-bench runs them standalone and
+// persists the numbers.
+func Suite(ctx *experiments.Context) ([]Case, error) {
+	model, err := ctx.Model()
+	if err != nil {
+		return nil, err
+	}
+	cases := []Case{
+		{Name: "probe/gather_env", Bench: GatherSession()},
+		{Name: "feature/extract", Bench: FeatureExtraction()},
+		{Name: "engine/identify_batch", Bench: IdentifyBatch(model, 64)},
+		{Name: "service/identify_hit", Bench: ServiceIdentify(model, false)},
+		{Name: "service/identify_miss", Bench: ServiceIdentify(model, true)},
+	}
+	if f, ok := model.(*forest.Forest); ok {
+		cases = append([]Case{
+			{Name: "forest/votes_into", Bench: ForestVotesInto(f)},
+			{Name: "forest/classify", Bench: ForestClassify(model)},
+		}, cases...)
+	} else {
+		cases = append([]Case{{Name: "forest/classify", Bench: ForestClassify(model)}}, cases...)
+	}
+	return cases, nil
+}
+
+// benchVector is a representative in-distribution feature vector.
+var benchVector = []float64{0.7, 18, 110, 0.7, 11, 83, 1, 9}
+
+// ForestVotesInto measures the arena vote walk with a reused buffer (the
+// zero-allocation classification core).
+func ForestVotesInto(f *forest.Forest) func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		votes := f.VotesInto(nil, benchVector)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			votes = f.VotesInto(votes, benchVector)
+		}
+	}
+}
+
+// ForestClassify measures the classify.Classifier entry point (pooled vote
+// buffers for the forest backend).
+func ForestClassify(model classify.Classifier) func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		model.Classify(benchVector) // warm any pools
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			model.Classify(benchVector)
+		}
+	}
+}
+
+// GatherSession measures one full environment-A gathering session against
+// a lossless CUBIC2 testbed server with a reused prober.
+func GatherSession() func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		rng := rand.New(rand.NewSource(1))
+		p := probe.New(probe.Config{}, netem.Lossless, rng)
+		p.Reuse()
+		server := websim.Testbed("CUBIC2")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.GatherEnv(server, probe.EnvA(), 256, 536, 64<<20); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// FeatureExtraction measures CAAI step 2 with reused scratch on gathered
+// traces.
+func FeatureExtraction() func(*testing.B) {
+	return func(b *testing.B) {
+		rng := rand.New(rand.NewSource(2))
+		p := probe.New(probe.Config{}, netem.Lossless, rng)
+		ta, err := p.GatherEnv(websim.Testbed("CUBIC2"), probe.EnvA(), 256, 536, 64<<20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tb, err := p.GatherEnv(websim.Testbed("CUBIC2"), probe.EnvB(), 256, 536, 64<<20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sc feature.Scratch
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			feature.ExtractWith(&sc, ta, tb)
+		}
+	}
+}
+
+// IdentifyBatch measures batched identification of jobs servers through a
+// pretrained model on the worker pool, with per-worker pipeline sessions.
+func IdentifyBatch(model classify.Classifier, jobs int) func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		id := core.NewIdentifier(model)
+		rng := rand.New(rand.NewSource(77))
+		db := netem.MeasuredDatabase()
+		batch := make([]engine.Job, jobs)
+		names := cc.CAAINames()
+		for i := range batch {
+			batch[i] = engine.Job{Server: websim.Testbed(names[i%len(names)]), Cond: db.Sample(rng)}
+		}
+		b.ResetTimer()
+		var valid int
+		for i := 0; i < b.N; i++ {
+			results := engine.IdentifyBatch[core.Identification](id, batch, engine.BatchConfig[core.Identification]{
+				Seed: int64(i),
+				NewWorkerIdentifier: func() engine.Identifier[core.Identification] {
+					return id.NewSession()
+				},
+			})
+			valid = 0
+			for _, r := range results {
+				if r.Out.Valid {
+					valid++
+				}
+			}
+		}
+		b.ReportMetric(float64(valid)/float64(jobs)*100, "valid-%")
+		b.ReportMetric(float64(jobs), "jobs/op")
+	}
+}
+
+// ServiceIdentify measures the HTTP service path end to end (JSON decode,
+// registry lookup, cache, singleflight, pipeline, JSON encode). miss=false
+// serves one request repeatedly from the LRU result cache; miss=true
+// forces a fresh probe every iteration by varying the seed.
+func ServiceIdentify(model classify.Classifier, miss bool) func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		reg := service.NewRegistry()
+		reg.Add("bench", model)
+		svc := service.New(reg, service.Config{})
+		b.Cleanup(svc.Close)
+		h := svc.Handler()
+
+		do := func(seed int64) service.IdentifyResponse {
+			body := fmt.Sprintf(`{"server":{"algorithm":"CUBIC2"},"condition":{"loss_rate":0.005},"seed":%d}`, seed)
+			req := httptest.NewRequest(http.MethodPost, "/v1/identify", strings.NewReader(body))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+			}
+			var resp service.IdentifyResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				b.Fatal(err)
+			}
+			return resp
+		}
+
+		if miss {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if resp := do(int64(i + 1)); resp.Cached {
+					b.Fatal("unexpected cache hit")
+				}
+			}
+			return
+		}
+		do(1) // prime the cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if resp := do(1); !resp.Cached {
+				b.Fatal("expected a cache hit")
+			}
+		}
+	}
+}
+
+// Accuracy runs the reduced-scale Table III cross-validation and returns
+// the overall accuracy, the quality metric recorded alongside the perf
+// numbers so a speedup that degrades classification is caught in the same
+// trajectory file.
+func Accuracy(ctx *experiments.Context) (float64, error) {
+	res, err := experiments.TableIII(ctx)
+	if err != nil {
+		return 0, err
+	}
+	return res.Accuracy, nil
+}

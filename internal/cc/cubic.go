@@ -29,6 +29,9 @@ const cubicC = 0.4
 type Cubic struct {
 	version CubicVersion
 	beta    float64
+	// alpha is the TCP-friendly additive increase 3*(1-beta)/(1+beta),
+	// fixed per version; hoisted out of the per-ACK path.
+	alpha float64
 
 	lastMax     float64       // remembered window at last loss
 	epochStart  time.Duration // start of the current cubic epoch (<0: unset)
@@ -37,6 +40,16 @@ type Cubic struct {
 	delayMin    time.Duration // min RTT observed (kernel's delay_min)
 	ackCnt      float64       // ACKs since epoch start (friendliness)
 	tcpCwnd     float64       // estimated RENO window (friendliness)
+
+	// Cached elapsed-epoch-time term of the cubic function. Every ACK of
+	// one round shares (Now, epochStart, delayMin), so the two duration-
+	// to-seconds conversions (four divisions) run once per round instead
+	// of once per ACK. The cached value is bit-identical to recomputing.
+	tNow   time.Duration
+	tEpoch time.Duration
+	tDelay time.Duration
+	tCache float64
+	tValid bool
 }
 
 var _ Algorithm = (*Cubic)(nil)
@@ -47,7 +60,7 @@ func NewCubic(v CubicVersion) *Cubic {
 	if v == CubicLinux2625 {
 		beta = 819.0 / 1024.0
 	}
-	return &Cubic{version: v, beta: beta, epochStart: -1}
+	return &Cubic{version: v, beta: beta, alpha: 3 * (1 - beta) / (1 + beta), epochStart: -1}
 }
 
 // Name implements Algorithm.
@@ -67,6 +80,7 @@ func (cu *Cubic) Reset(*Conn) {
 	cu.delayMin = 0
 	cu.ackCnt = 0
 	cu.tcpCwnd = 0
+	cu.tValid = false
 }
 
 // OnAck implements Algorithm, mirroring bictcp_cong_avoid/bictcp_update.
@@ -98,7 +112,14 @@ func (cu *Cubic) count(c *Conn) float64 {
 	}
 	// Elapsed epoch time, extended by the minimum RTT exactly as the
 	// kernel does so that the target is one RTT ahead.
-	t := secs(c.Now-cu.epochStart) + secs(cu.delayMin)
+	var t float64
+	if cu.tValid && c.Now == cu.tNow && cu.epochStart == cu.tEpoch && cu.delayMin == cu.tDelay {
+		t = cu.tCache
+	} else {
+		t = secs(c.Now-cu.epochStart) + secs(cu.delayMin)
+		cu.tNow, cu.tEpoch, cu.tDelay = c.Now, cu.epochStart, cu.delayMin
+		cu.tCache, cu.tValid = t, true
+	}
 	d := t - cu.k
 	target := cu.originPoint + cubicC*d*d*d
 
@@ -110,9 +131,8 @@ func (cu *Cubic) count(c *Conn) float64 {
 	}
 	// TCP-friendly region: track the window RENO would have reached and
 	// never grow slower than it. The emulated RENO gains
-	// 3*(1-beta)/(1+beta) packets per RTT.
-	alpha := 3 * (1 - cu.beta) / (1 + cu.beta)
-	delta := cwnd / alpha // ACKs per packet of RENO-equivalent growth
+	// alpha = 3*(1-beta)/(1+beta) packets per RTT.
+	delta := cwnd / cu.alpha // ACKs per packet of RENO-equivalent growth
 	for cu.ackCnt > delta {
 		cu.ackCnt -= delta
 		cu.tcpCwnd++

@@ -1,8 +1,8 @@
 package census
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
 	"sort"
 	"strings"
 
@@ -11,6 +11,7 @@ import (
 	"repro/internal/netem"
 	"repro/internal/probe"
 	"repro/internal/trace"
+	"repro/internal/xrand"
 )
 
 // RunConfig controls a census run.
@@ -136,13 +137,19 @@ func ShareBy(population []GroundTruth, key func(GroundTruth) string) map[string]
 }
 
 // Run probes every server in the population on the engine's worker pool
-// and aggregates Table IV.
+// and aggregates Table IV. Each pool worker reuses one pipeline session
+// (probe and feature scratch) across the servers it probes; outcomes stay
+// independent of worker scheduling.
 func Run(population []GroundTruth, id *core.Identifier, db *netem.Database, cfg RunConfig) *Report {
 	outcomes := make([]Outcome, len(population))
-	engine.Run(len(population), cfg.Parallelism, func(i int) {
-		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*6700417))
+	sessions := make([]*core.Session, engine.Workers(len(population), cfg.Parallelism))
+	for w := range sessions {
+		sessions[w] = id.NewSession()
+	}
+	engine.RunWorkers(context.Background(), len(population), cfg.Parallelism, func(w, i int) {
+		rng := xrand.New(cfg.Seed + int64(i)*6700417)
 		cond := db.Sample(rng)
-		ident := id.Identify(population[i].Server, cond, cfg.Probe, rng)
+		ident := sessions[w].Identify(population[i].Server, cond, cfg.Probe, rng)
 		outcomes[i] = Outcome{Truth: population[i], ID: ident}
 	})
 	return aggregate(outcomes)

@@ -239,6 +239,13 @@ func (id *Identifier) Classifier() classify.Classifier { return id.model }
 
 // IdentifyResult classifies an already-gathered probe result.
 func (id *Identifier) IdentifyResult(res *probe.Result) Identification {
+	var sc feature.Scratch
+	return id.identifyResult(res, &sc)
+}
+
+// identifyResult is IdentifyResult with caller-owned feature scratch (the
+// Session hot path reuses one across jobs).
+func (id *Identifier) identifyResult(res *probe.Result, sc *feature.Scratch) Identification {
 	out := Identification{Wmax: res.Wmax, MSS: res.MSS, Reason: res.Reason}
 	if !res.Valid {
 		return out
@@ -248,8 +255,8 @@ func (id *Identifier) IdentifyResult(res *probe.Result) Identification {
 		out.Special = sp
 		return out
 	}
-	out.Vector = feature.Extract(res.TraceA, res.TraceB)
-	label, conf := id.model.Classify(out.Vector.Slice())
+	out.Vector = feature.ExtractWith(sc, res.TraceA, res.TraceB)
+	label, conf := id.model.Classify(out.Vector[:])
 	out.Confidence = conf
 	if conf < UnsureThreshold {
 		out.Label = LabelUnsure

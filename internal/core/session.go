@@ -1,0 +1,44 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/feature"
+	"repro/internal/netem"
+	"repro/internal/probe"
+	"repro/internal/websim"
+)
+
+// Session is a reusable single-goroutine identification pipeline over one
+// Identifier: it keeps a re-armable prober (trace recorders plus burst and
+// ACK scratch) and the feature-extraction scratch alive across jobs, so a
+// stream of Identify calls reuses buffers instead of rebuilding the whole
+// pipeline per server. Results are identical to Identifier.Identify -- the
+// prober is rewound to a fresh state (clock, condition, RNG) for every
+// call.
+//
+// A Session is NOT safe for concurrent use; the engine hands one to each
+// pool worker (see engine.BatchConfig.NewWorkerIdentifier) and the service
+// pools them per model.
+type Session struct {
+	id *Identifier
+	p  *probe.Prober
+	sc feature.Scratch
+}
+
+// NewSession returns a reusable pipeline bound to this identifier's
+// classifier.
+func (id *Identifier) NewSession() *Session { return &Session{id: id} }
+
+// Identify runs the full pipeline for one server, reusing the session's
+// scratch. It matches Identifier.Identify result-for-result.
+func (s *Session) Identify(server *websim.Server, cond netem.Condition, cfg probe.Config, rng *rand.Rand) Identification {
+	if s.p == nil {
+		s.p = probe.New(cfg, cond, rng)
+		s.p.Reuse()
+	} else {
+		s.p.Rearm(cfg, cond, rng)
+	}
+	res := s.p.Gather(server)
+	return s.id.identifyResult(res, &s.sc)
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/netem"
+	"repro/internal/probe"
+	"repro/internal/websim"
+)
+
+// stubClassifier keeps session tests independent of forest training.
+type stubClassifier struct{}
+
+func (stubClassifier) Name() string { return "stub" }
+func (stubClassifier) Classify(features []float64) (string, float64) {
+	if features[0] >= 0.6 { // feature.BetaA
+		return "CUBICISH", 0.9
+	}
+	return "RENOISH", 0.8
+}
+
+var _ classify.Classifier = stubClassifier{}
+
+// TestSessionMatchesIdentifier: a reused Session must reproduce the plain
+// Identifier's results job for job -- across algorithms, lossy conditions,
+// and repeated use of the same session (Rearm rewinds the clock, the
+// recorders recycle trace buffers).
+func TestSessionMatchesIdentifier(t *testing.T) {
+	id := NewIdentifier(stubClassifier{})
+	sess := id.NewSession()
+	db := netem.MeasuredDatabase()
+	condRng := rand.New(rand.NewSource(31))
+
+	algs := []string{"CUBIC2", "RENO", "VEGAS", "WESTWOOD", "BIC", "ILLINOIS"}
+	for i, alg := range algs {
+		server := websim.Testbed(alg)
+		cond := db.Sample(condRng)
+		seed := int64(1000 + i)
+
+		want := id.Identify(websim.Testbed(alg), cond, probe.Config{}, rand.New(rand.NewSource(seed)))
+		got := sess.Identify(server, cond, probe.Config{}, rand.New(rand.NewSource(seed)))
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: session result %+v != identifier result %+v", alg, got, want)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/netem"
 	"repro/internal/probe"
 	"repro/internal/websim"
+	"repro/internal/xrand"
 )
 
 // Job is one identification request: probe one server under one network
@@ -51,6 +52,13 @@ type BatchConfig[R any] struct {
 	// (completion order, not input order). Calls are serialized; the
 	// callback must not block for long or it stalls the pool.
 	OnResult func(Result[R])
+	// NewWorkerIdentifier, when set, is called once per pool worker; its
+	// result handles that worker's jobs instead of the shared identifier.
+	// Pipelines use it to give every worker private reusable scratch
+	// (probe buffers, feature scratch) without locks. Each returned
+	// identifier must produce results identical to the shared one -- job
+	// outcomes must not depend on which worker ran them.
+	NewWorkerIdentifier func() Identifier[R]
 }
 
 // jobSeedStride spaces derived per-job seeds (a prime, like the strides
@@ -82,14 +90,27 @@ func IdentifyBatch[R any](id Identifier[R], jobs []Job, cfg BatchConfig[R]) []Re
 	} else {
 		close(done)
 	}
-	RunCtx(ctx, len(jobs), cfg.Parallelism, func(i int) {
+	// Per-worker identifiers (when offered) let each pool worker reuse its
+	// own probe/feature scratch across the jobs it runs.
+	var perWorker []Identifier[R]
+	if cfg.NewWorkerIdentifier != nil {
+		perWorker = make([]Identifier[R], Workers(len(jobs), cfg.Parallelism))
+		for w := range perWorker {
+			perWorker[w] = cfg.NewWorkerIdentifier()
+		}
+	}
+	RunWorkers(ctx, len(jobs), cfg.Parallelism, func(w, i int) {
+		ident := id
+		if perWorker != nil {
+			ident = perWorker[w]
+		}
 		jb := jobs[i]
 		seed := jb.Seed
 		if seed == 0 {
 			seed = cfg.Seed + int64(i+1)*jobSeedStride
 		}
-		rng := rand.New(rand.NewSource(seed))
-		out := id.Identify(jb.Server, jb.Cond, cfg.Probe, rng)
+		rng := xrand.New(seed)
+		out := ident.Identify(jb.Server, jb.Cond, cfg.Probe, rng)
 		results[i] = Result[R]{Index: i, Job: jb, Out: out}
 		if stream != nil {
 			stream <- results[i]

@@ -11,6 +11,7 @@ import (
 	"repro/internal/netem"
 	"repro/internal/probe"
 	"repro/internal/websim"
+	"repro/internal/xrand"
 )
 
 func TestRunExecutesEveryJob(t *testing.T) {
@@ -102,7 +103,7 @@ func TestIdentifyBatchHonorsExplicitJobSeed(t *testing.T) {
 	if !reflect.DeepEqual(a, b) {
 		t.Fatal("explicit job seed should override the batch seed")
 	}
-	want := rand.New(rand.NewSource(12345)).Int63()
+	want := xrand.New(12345).Int63()
 	if a[0].Out.Draw != want {
 		t.Fatalf("job rng draw = %d, want %d (seeded 12345)", a[0].Out.Draw, want)
 	}

@@ -16,6 +16,24 @@ import (
 // DefaultParallelism is the worker count used when a caller passes 0.
 func DefaultParallelism() int { return runtime.GOMAXPROCS(0) }
 
+// Workers returns how many pool workers Run/RunCtx/RunWorkers spawn for n
+// jobs at the given parallelism: min(parallelism, n), with parallelism
+// <= 0 meaning DefaultParallelism. Callers that pre-size per-worker
+// scratch (see RunWorkers) use it to allocate exactly one slot per worker.
+func Workers(n, parallelism int) int {
+	if n <= 0 {
+		return 0
+	}
+	workers := parallelism
+	if workers <= 0 {
+		workers = DefaultParallelism()
+	}
+	if workers > n {
+		workers = n
+	}
+	return workers
+}
+
 // Run executes fn(i) for every i in [0, n) on a pool of at most
 // parallelism workers and blocks until all jobs finish. parallelism <= 0
 // falls back to DefaultParallelism. Job functions must be safe to run
@@ -33,22 +51,25 @@ func Run(n, parallelism int, fn func(i int)) {
 // Callers that need to know which jobs were skipped should record
 // completion inside fn.
 func RunCtx(ctx context.Context, n, parallelism int, fn func(i int)) error {
+	return RunWorkers(ctx, n, parallelism, func(_, i int) { fn(i) })
+}
+
+// RunWorkers is RunCtx with worker identity: fn receives the index of the
+// worker goroutine (in [0, Workers(n, parallelism))) running the job, so
+// callers can give each worker its own reusable scratch state -- one
+// session per worker, no locks -- instead of allocating per job. Jobs
+// must still not depend on *which* worker runs them.
+func RunWorkers(ctx context.Context, n, parallelism int, fn func(worker, job int)) error {
 	if n <= 0 {
 		return nil
 	}
-	workers := parallelism
-	if workers <= 0 {
-		workers = DefaultParallelism()
-	}
-	if workers > n {
-		workers = n
-	}
+	workers := Workers(n, parallelism)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			fn(i)
+			fn(0, i)
 		}
 		return nil
 	}
@@ -56,12 +77,12 @@ func RunCtx(ctx context.Context, n, parallelism int, fn func(i int)) error {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range jobs {
-				fn(i)
+				fn(worker, i)
 			}
-		}()
+		}(w)
 	}
 	done := ctx.Done()
 	cancelled := false

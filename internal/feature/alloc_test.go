@@ -1,0 +1,30 @@
+package feature
+
+import "testing"
+
+// TestExtractWithZeroAllocs pins the zero-allocation contract of feature
+// extraction with reused scratch: after one warm-up call (which sizes the
+// loss-sample buffer), extracting the full A+B vector must not allocate.
+func TestExtractWithZeroAllocs(t *testing.T) {
+	ta, tb := renoTrace(), renoTrace()
+	var sc Scratch
+	ExtractWith(&sc, ta, tb) // warm the scratch
+	if allocs := testing.AllocsPerRun(200, func() {
+		ExtractWith(&sc, ta, tb)
+	}); allocs != 0 {
+		t.Fatalf("ExtractWith allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestExtractWithMatchesExtract: the scratch path is result-identical to
+// the allocating convenience wrapper.
+func TestExtractWithMatchesExtract(t *testing.T) {
+	var sc Scratch
+	for i := 0; i < 3; i++ {
+		want := Extract(renoTrace(), renoTrace())
+		got := ExtractWith(&sc, renoTrace(), renoTrace())
+		if got != want {
+			t.Fatalf("ExtractWith = %v, Extract = %v", got, want)
+		}
+	}
+}

@@ -85,8 +85,23 @@ type Extraction struct {
 	Found bool
 }
 
+// Scratch holds the reusable buffers of one extraction pipeline. A zero
+// Scratch is ready to use; reusing one across extractions (ExtractWith /
+// ExtractEnvWith) makes feature extraction allocation-free in steady
+// state. Not safe for concurrent use.
+type Scratch struct {
+	// loss accumulates the Eq. 1 ACK-loss samples of the boundary scan.
+	loss stats.Sample
+}
+
 // ExtractEnv extracts the features of one environment's trace.
 func ExtractEnv(t *trace.Trace) Extraction {
+	var sc Scratch
+	return ExtractEnvWith(&sc, t)
+}
+
+// ExtractEnvWith is ExtractEnv with caller-owned scratch buffers.
+func ExtractEnvWith(sc *Scratch, t *trace.Trace) Extraction {
 	out := Extraction{BoundaryIdx: -1, AckLoss: minAckLoss}
 	if t == nil || !t.Valid() {
 		return out
@@ -101,11 +116,11 @@ func ExtractEnv(t *trace.Trace) Extraction {
 	// running ACK-loss estimate) contribute loss samples p_r =
 	// (2*w_r - w_{r+1}) / w_r; the boundary is the first round opening a
 	// run of three consecutive non-doubling RTTs.
-	var samples []float64
+	sc.loss.Reset()
 	boundary := -1
 	pHat := minAckLoss
 	for i := 1; i < len(q); i++ {
-		pHat = stats.Clamp(stats.MeanCI95(samples), minAckLoss, maxAckLoss)
+		pHat = stats.Clamp(sc.loss.MeanCI95(), minAckLoss, maxAckLoss)
 		if failsDoubling(q, i, pHat) {
 			run := 1
 			for j := i + 1; j < len(q) && run < consecutiveFails; j++ {
@@ -122,7 +137,7 @@ func ExtractEnv(t *trace.Trace) Extraction {
 		}
 		if q[i-1] > 0 {
 			p := (2*float64(q[i-1]) - float64(q[i])) / float64(q[i-1])
-			samples = append(samples, stats.Clamp(p, 0, 1))
+			sc.loss.Add(stats.Clamp(p, 0, 1))
 		}
 	}
 	out.AckLoss = pHat
@@ -161,11 +176,18 @@ const vegasFlagThreshold = 64
 // and B traces. TraceB may be a no-timeout trace (the VEGAS signature); its
 // features are then zero and the flag is 0.
 func Extract(ta, tb *trace.Trace) Vector {
+	var sc Scratch
+	return ExtractWith(&sc, ta, tb)
+}
+
+// ExtractWith is Extract with caller-owned scratch buffers, for pipelines
+// that extract many vectors and want zero steady-state allocations.
+func ExtractWith(sc *Scratch, ta, tb *trace.Trace) Vector {
 	var v Vector
-	a := ExtractEnv(ta)
+	a := ExtractEnvWith(sc, ta)
 	v[BetaA], v[G3A], v[G6A] = a.Beta, a.G3, a.G6
 	if tb != nil && tb.Valid() && tb.MaxWindow() >= vegasFlagThreshold {
-		b := ExtractEnv(tb)
+		b := ExtractEnvWith(sc, tb)
 		v[BetaB], v[G3B], v[G6B] = b.Beta, b.G3, b.G6
 		v[VegasFlag] = 1
 	}

@@ -1,0 +1,59 @@
+package forest
+
+import "testing"
+
+// TestVotesIntoZeroAllocs pins the zero-allocation contract of the arena
+// walk: once the caller owns a vote buffer, VotesInto must not touch the
+// heap. A regression here silently reintroduces per-classification garbage
+// on the service hot path.
+func TestVotesIntoZeroAllocs(t *testing.T) {
+	ds := clusterDataset(t, 40, 21)
+	f := Train(ds, Config{Trees: 30, Subspace: 2, Seed: 22})
+	vec := []float64{1, 9, 2}
+	votes := f.VotesInto(nil, vec)
+	if allocs := testing.AllocsPerRun(200, func() {
+		votes = f.VotesInto(votes, vec)
+	}); allocs != 0 {
+		t.Fatalf("VotesInto allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestClassifyZeroAllocsSteadyState: the pooled Classify path must also be
+// allocation-free once the vote pool is warm.
+func TestClassifyZeroAllocsSteadyState(t *testing.T) {
+	ds := clusterDataset(t, 40, 23)
+	f := Train(ds, Config{Trees: 30, Subspace: 2, Seed: 24})
+	vec := []float64{0, 1, 10}
+	f.Classify(vec) // warm the vote pool
+	if allocs := testing.AllocsPerRun(200, func() {
+		f.Classify(vec)
+	}); allocs != 0 {
+		t.Fatalf("Classify allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestFlattenPreservesClassification: training and then persisting through
+// the arena is vote-for-vote identical with Classify/Votes across a probe
+// grid (the bit-identical pre/post-flattening guarantee).
+func TestFlattenPreservesClassification(t *testing.T) {
+	ds := clusterDataset(t, 40, 25)
+	f := Train(ds, Config{Trees: 20, Subspace: 2, Seed: 26})
+	var votes []int
+	for _, x := range []float64{-3, 0, 4, 11} {
+		for _, y := range []float64{-2, 5, 10} {
+			vec := []float64{x, y, x + y}
+			plain := f.Votes(vec)
+			votes = f.VotesInto(votes, vec)
+			for c := range plain {
+				if plain[c] != votes[c] {
+					t.Fatalf("VotesInto(%v) = %v, Votes = %v", vec, votes, plain)
+				}
+			}
+			l1, c1 := f.Classify(vec)
+			l2, c2, _ := f.ClassifyBuf(vec, votes)
+			if l1 != l2 || c1 != c2 {
+				t.Fatalf("ClassifyBuf(%v) = (%s, %v), Classify = (%s, %v)", vec, l2, c2, l1, c1)
+			}
+		}
+	}
+}

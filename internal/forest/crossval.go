@@ -144,9 +144,11 @@ func CrossValidate(ds *Dataset, cfg Config, folds int, rng *rand.Rand) *Confusio
 		foldCfg := cfg
 		foldCfg.Seed = cfg.Seed + int64(f)*104729
 		model := Train(ds.Subset(trainIdx), foldCfg)
+		var votes []int
 		for _, j := range testIdx {
 			s := ds.Samples()[j]
-			got, _ := model.Classify(s.Features)
+			var got string
+			got, _, votes = model.ClassifyBuf(s.Features, votes)
 			matrix.Add(s.Label, got)
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/engine"
 )
@@ -111,15 +112,74 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// leafMarker in the feature array marks a leaf node.
+const leafMarker = int32(-1)
+
 // Forest is a trained random forest. Safe for concurrent classification.
+//
+// All trees live in one contiguous structure-of-arrays arena: node i splits
+// on feat[i] at thr[i] with children kids[2i] and kids[2i+1] (absolute node
+// indices), or is a leaf voting labels[i] when feat[i] < 0. Tree t occupies
+// nodes [starts[t], starts[t+1]) with its root at starts[t]. The flat
+// layout keeps the whole model in a handful of allocations and turns the
+// per-tree walk into branchy-but-local slice indexing instead of pointer
+// chasing across 80 separately allocated node slices.
 type Forest struct {
-	trees   []*tree
 	classes []string
-	// width is the feature-vector length the trees index into; Votes
+	// width is the feature-vector length the trees index into; VotesInto
 	// refuses shorter inputs so a corrupt model or caller cannot panic
 	// the classification hot path.
 	width int
+
+	feat   []int32
+	thr    []float64
+	kids   []int32
+	labels []int32
+	starts []int32
 }
+
+// flatten fuses per-tree node slices into the arena. Node order within a
+// tree is preserved, so persistence round-trips bit-identically.
+func flatten(classes []string, width int, trees [][]treeNode) *Forest {
+	total := 0
+	for _, nodes := range trees {
+		total += len(nodes)
+	}
+	f := &Forest{
+		classes: classes,
+		width:   width,
+		feat:    make([]int32, total),
+		thr:     make([]float64, total),
+		kids:    make([]int32, 2*total),
+		labels:  make([]int32, total),
+		starts:  make([]int32, len(trees)+1),
+	}
+	off := int32(0)
+	for t, nodes := range trees {
+		f.starts[t] = off
+		for j, n := range nodes {
+			i := off + int32(j)
+			if n.leaf {
+				f.feat[i] = leafMarker
+				f.labels[i] = int32(n.label)
+				continue
+			}
+			f.feat[i] = int32(n.feature)
+			f.thr[i] = n.threshold
+			f.kids[2*i] = off + n.left
+			f.kids[2*i+1] = off + n.right
+		}
+		off += int32(len(nodes))
+	}
+	f.starts[len(trees)] = off
+	return f
+}
+
+// NumTrees returns the number of trees in the forest.
+func (f *Forest) NumTrees() int { return len(f.starts) - 1 }
+
+// NumClasses returns the number of classes the forest votes over.
+func (f *Forest) NumClasses() int { return len(f.classes) }
 
 // Train grows cfg.Trees trees on bootstrap samples of ds, each split drawn
 // from a random subspace of cfg.Subspace features. Tree construction runs
@@ -134,7 +194,7 @@ func Train(ds *Dataset, cfg Config) *Forest {
 		labels[i] = ds.index[s.Label]
 	}
 
-	trees := make([]*tree, cfg.Trees)
+	trees := make([][]treeNode, cfg.Trees)
 	engine.Run(cfg.Trees, cfg.Parallelism, func(t int) {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(t)*7919))
 		idx := make([]int, n)
@@ -155,7 +215,7 @@ func Train(ds *Dataset, cfg Config) *Forest {
 	if n > 0 {
 		width = len(ds.samples[0].Features)
 	}
-	return &Forest{trees: trees, classes: ds.classes, width: width}
+	return flatten(ds.classes, width, trees)
 }
 
 // Classes returns the class labels the forest can emit.
@@ -165,17 +225,34 @@ func (f *Forest) Classes() []string {
 	return out
 }
 
+// votePool recycles vote buffers so Classify (the classify.Classifier
+// entry point, whose signature cannot take scratch) is allocation-free in
+// steady state. Buffers hold *[]int to keep Put/Get off the heap.
+var votePool = sync.Pool{New: func() any { return new([]int) }}
+
 // Classify returns the majority-vote label and its confidence (the
-// fraction of trees voting for it).
+// fraction of trees voting for it). Steady-state allocation-free: vote
+// buffers come from an internal pool.
 func (f *Forest) Classify(features []float64) (string, float64) {
-	votes := f.Votes(features)
+	bp := votePool.Get().(*[]int)
+	label, conf, votes := f.ClassifyBuf(features, *bp)
+	*bp = votes
+	votePool.Put(bp)
+	return label, conf
+}
+
+// ClassifyBuf is Classify with caller-owned vote scratch: votes is resized
+// (and reallocated only if too small) and returned for reuse, so tight
+// loops classify with zero allocations.
+func (f *Forest) ClassifyBuf(features []float64, votes []int) (string, float64, []int) {
+	votes = f.VotesInto(votes, features)
 	best, bestN := 0, -1
 	for c, n := range votes {
 		if n > bestN {
 			best, bestN = c, n
 		}
 	}
-	return f.classes[best], float64(bestN) / float64(len(f.trees))
+	return f.classes[best], float64(bestN) / float64(f.NumTrees()), votes
 }
 
 // Votes returns the per-class vote counts, indexed like Classes(). A
@@ -183,12 +260,40 @@ func (f *Forest) Classify(features []float64) (string, float64) {
 // the board (and so classifies at zero confidence) instead of panicking
 // mid-walk on an out-of-range feature index.
 func (f *Forest) Votes(features []float64) []int {
-	votes := make([]int, len(f.classes))
+	return f.VotesInto(nil, features)
+}
+
+// VotesInto tallies the per-class votes into dst and returns it, resized
+// to the class count (reallocating only when dst is too small). It is the
+// zero-allocation core of Votes/Classify: one flat walk over the arena per
+// tree, no per-call slice churn. See Votes for the short-vector contract.
+func (f *Forest) VotesInto(dst []int, features []float64) []int {
+	n := len(f.classes)
+	if cap(dst) < n {
+		dst = make([]int, n)
+	} else {
+		dst = dst[:n]
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
 	if f.width > 0 && len(features) < f.width {
-		return votes
+		return dst
 	}
-	for _, t := range f.trees {
-		votes[t.classify(features)]++
+	for t := 0; t < len(f.starts)-1; t++ {
+		i := f.starts[t]
+		for {
+			fi := f.feat[i]
+			if fi < 0 {
+				dst[f.labels[i]]++
+				break
+			}
+			if features[fi] <= f.thr[i] {
+				i = f.kids[2*i]
+			} else {
+				i = f.kids[2*i+1]
+			}
+		}
 	}
-	return votes
+	return dst
 }

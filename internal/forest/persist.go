@@ -21,6 +21,8 @@ var _ classify.Classifier = (*Forest)(nil)
 
 // The JSON document layout. Node fields are flattened into parallel arrays
 // per tree: compact, fast to decode, and stable under gofmt-style diffing.
+// The on-disk format is unchanged by the in-memory arena: Save emits the
+// same per-tree arrays as before, Load flattens them into the arena.
 type forestDoc struct {
 	Version int      `json:"version"`
 	Classes []string `json:"classes"`
@@ -49,32 +51,37 @@ const persistVersion = 1
 // reproduces the in-memory forest's classifications exactly: tree
 // structure, thresholds, and class order are preserved bit-for-bit.
 func (f *Forest) Save(w io.Writer) error {
-	doc := forestDoc{Version: persistVersion, Classes: f.classes, Features: f.width, Trees: make([]treeDoc, len(f.trees))}
-	for i, t := range f.trees {
+	nt := f.NumTrees()
+	doc := forestDoc{Version: persistVersion, Classes: f.classes, Features: f.width, Trees: make([]treeDoc, nt)}
+	for t := 0; t < nt; t++ {
+		lo := f.starts[t]
+		n := int(f.starts[t+1] - lo)
 		td := treeDoc{
-			Feature:   make([]int, len(t.nodes)),
-			Threshold: make([]float64, len(t.nodes)),
-			Left:      make([]int32, len(t.nodes)),
-			Right:     make([]int32, len(t.nodes)),
-			Label:     make([]int, len(t.nodes)),
+			Feature:   make([]int, n),
+			Threshold: make([]float64, n),
+			Left:      make([]int32, n),
+			Right:     make([]int32, n),
+			Label:     make([]int, n),
 		}
-		for j, n := range t.nodes {
-			if n.leaf {
+		for j := 0; j < n; j++ {
+			i := lo + int32(j)
+			if f.feat[i] < 0 {
 				td.Feature[j] = -1
-				td.Label[j] = n.label
+				td.Label[j] = int(f.labels[i])
 				continue
 			}
-			td.Feature[j] = n.feature
-			td.Threshold[j] = n.threshold
-			td.Left[j] = n.left
-			td.Right[j] = n.right
+			td.Feature[j] = int(f.feat[i])
+			td.Threshold[j] = f.thr[i]
+			td.Left[j] = f.kids[2*i] - lo
+			td.Right[j] = f.kids[2*i+1] - lo
 		}
-		doc.Trees[i] = td
+		doc.Trees[t] = td
 	}
 	return json.NewEncoder(w).Encode(doc)
 }
 
-// Load deserializes a forest previously written by Save.
+// Load deserializes a forest previously written by Save, flattening the
+// per-tree node arrays into the classification arena.
 func Load(r io.Reader) (*Forest, error) {
 	var doc forestDoc
 	if err := json.NewDecoder(r).Decode(&doc); err != nil {
@@ -89,8 +96,7 @@ func Load(r io.Reader) (*Forest, error) {
 	if doc.Features < 0 {
 		return nil, fmt.Errorf("forest: negative feature width %d", doc.Features)
 	}
-	f := &Forest{classes: doc.Classes, trees: make([]*tree, len(doc.Trees))}
-	maxFeature := -1
+	total := 0
 	for i, td := range doc.Trees {
 		n := len(td.Feature)
 		if len(td.Threshold) != n || len(td.Left) != n || len(td.Right) != n || len(td.Label) != n {
@@ -99,13 +105,29 @@ func Load(r io.Reader) (*Forest, error) {
 		if n == 0 {
 			return nil, fmt.Errorf("forest: tree %d is empty", i)
 		}
-		nodes := make([]treeNode, n)
+		total += n
+	}
+	f := &Forest{
+		classes: doc.Classes,
+		feat:    make([]int32, total),
+		thr:     make([]float64, total),
+		kids:    make([]int32, 2*total),
+		labels:  make([]int32, total),
+		starts:  make([]int32, len(doc.Trees)+1),
+	}
+	maxFeature := -1
+	off := int32(0)
+	for i, td := range doc.Trees {
+		f.starts[i] = off
+		n := len(td.Feature)
 		for j := 0; j < n; j++ {
+			k := off + int32(j)
 			if td.Feature[j] < 0 {
 				if td.Label[j] < 0 || td.Label[j] >= len(doc.Classes) {
 					return nil, fmt.Errorf("forest: tree %d node %d: label %d out of range", i, j, td.Label[j])
 				}
-				nodes[j] = treeNode{leaf: true, label: td.Label[j]}
+				f.feat[k] = leafMarker
+				f.labels[k] = int32(td.Label[j])
 				continue
 			}
 			if doc.Features > 0 && td.Feature[j] >= doc.Features {
@@ -119,19 +141,18 @@ func Load(r io.Reader) (*Forest, error) {
 			}
 			// The builder always places children after their parent, so
 			// child <= parent means a corrupt (possibly cyclic) layout
-			// that would make classify loop forever.
+			// that would make classification loop forever.
 			if td.Left[j] <= int32(j) || td.Right[j] <= int32(j) {
 				return nil, fmt.Errorf("forest: tree %d node %d: child index not after parent", i, j)
 			}
-			nodes[j] = treeNode{
-				feature:   td.Feature[j],
-				threshold: td.Threshold[j],
-				left:      td.Left[j],
-				right:     td.Right[j],
-			}
+			f.feat[k] = int32(td.Feature[j])
+			f.thr[k] = td.Threshold[j]
+			f.kids[2*k] = off + td.Left[j]
+			f.kids[2*k+1] = off + td.Right[j]
 		}
-		f.trees[i] = &tree{nodes: nodes}
+		off += int32(n)
 	}
+	f.starts[len(doc.Trees)] = off
 	f.width = doc.Features
 	if f.width == 0 {
 		// Legacy file without a declared width: the largest split index

@@ -4,6 +4,12 @@
 // majority voting, and a vote-share confidence (the paper's "classification
 // confidence level"). It also provides k-fold cross validation and
 // confusion matrices for Table III and Fig. 12.
+//
+// Trained trees are not stored as individual node objects: Train and Load
+// fuse all trees into one contiguous structure-of-arrays arena (see
+// forest.go), so classification walks flat parallel slices instead of
+// chasing per-tree heap pointers. This file holds the tree *builder*, which
+// still grows one tree at a time into a temporary node slice.
 package forest
 
 import (
@@ -12,11 +18,8 @@ import (
 	"sort"
 )
 
-// tree is one CART classification tree stored as a flat node array.
-type tree struct {
-	nodes []treeNode
-}
-
+// treeNode is one node of a tree under construction. It only lives inside
+// the builder; finished trees are flattened into the forest arena.
 type treeNode struct {
 	// feature/threshold define an internal node's split: samples with
 	// features[feature] <= threshold go left.
@@ -27,22 +30,6 @@ type treeNode struct {
 	// leaf marks terminal nodes; label is the majority class index.
 	leaf  bool
 	label int
-}
-
-// classify walks the tree and returns the leaf's class index.
-func (t *tree) classify(features []float64) int {
-	i := int32(0)
-	for {
-		n := &t.nodes[i]
-		if n.leaf {
-			return n.label
-		}
-		if features[n.feature] <= n.threshold {
-			i = n.left
-		} else {
-			i = n.right
-		}
-	}
 }
 
 // treeBuilder grows one tree from a bootstrap sample.
@@ -56,13 +43,14 @@ type treeBuilder struct {
 	nodes    []treeNode
 }
 
-// build grows the tree on the given sample indices and returns it.
-func (b *treeBuilder) build(idx []int) *tree {
+// build grows the tree on the given sample indices and returns its nodes
+// (root at index 0).
+func (b *treeBuilder) build(idx []int) []treeNode {
 	b.nodes = b.nodes[:0]
 	b.grow(idx)
 	nodes := make([]treeNode, len(b.nodes))
 	copy(nodes, b.nodes)
-	return &tree{nodes: nodes}
+	return nodes
 }
 
 // grow recursively grows a subtree on idx and returns its root node index.

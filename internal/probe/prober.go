@@ -116,11 +116,52 @@ type Prober struct {
 	// clock is the wall-clock of this prober's experiments; it advances
 	// across sessions and the inter-environment waits.
 	clock time.Duration
+
+	// sess is the reusable gathering session (burst/ACK scratch survives
+	// across gatherings regardless of the reuse mode below).
+	sess session
+	// reuse, when set, makes gatherings record into the prober-owned
+	// recorders below instead of allocating fresh traces (see Reuse).
+	reuse      bool
+	recA, recB trace.Recorder
 }
 
 // New returns a prober for the given network condition.
 func New(cfg Config, cond netem.Condition, rng *rand.Rand) *Prober {
 	return &Prober{cfg: cfg.withDefaults(), cond: cond, rng: rng}
+}
+
+// Reuse opts the prober into trace-buffer reuse: each environment records
+// into a prober-owned trace whose window buffers are recycled across
+// gatherings. The traces returned by Gather/GatherEnv then stay valid only
+// until the prober's next gathering of the same environment — the contract
+// the batch identification hot path relies on for zero steady-state
+// allocations. Leave it off (the default) when gathered traces must
+// outlive the next probe.
+func (p *Prober) Reuse() { p.reuse = true }
+
+// Rearm re-points the prober at a new configuration, network condition,
+// and RNG and rewinds its wall clock, exactly as if freshly created with
+// New — but keeps the session scratch and (in Reuse mode) the trace
+// buffers. It lets one prober serve a stream of independent identification
+// jobs with results identical to a fresh prober per job.
+func (p *Prober) Rearm(cfg Config, cond netem.Condition, rng *rand.Rand) {
+	p.cfg = cfg.withDefaults()
+	p.cond = cond
+	p.rng = rng
+	p.clock = 0
+}
+
+// newTrace returns the trace a gathering records into: recycled recorder
+// storage in Reuse mode, a fresh allocation otherwise.
+func (p *Prober) newTrace(env string, wmax, mss int) *trace.Trace {
+	if !p.reuse {
+		return &trace.Trace{Env: env, WmaxThreshold: wmax, MSS: mss}
+	}
+	if env == "B" {
+		return p.recB.Reset(env, wmax, mss)
+	}
+	return p.recA.Reset(env, wmax, mss)
 }
 
 // negotiateMSS walks the MSS ladder until the server accepts.
@@ -155,7 +196,8 @@ func (p *Prober) GatherEnv(server *websim.Server, env Environment, wmax, mss int
 	if err != nil {
 		return nil, err
 	}
-	t, end := runSession(sender, sessionParams{
+	t := p.newTrace(env.Name, wmax, mss)
+	p.clock = p.sess.run(sender, t, sessionParams{
 		env:          env,
 		wmax:         wmax,
 		mss:          mss,
@@ -166,7 +208,6 @@ func (p *Prober) GatherEnv(server *websim.Server, env Environment, wmax, mss int
 		dupAck:       !p.cfg.DisableDupAck,
 		start:        p.clock,
 	})
-	p.clock = end
 	server.Close(sender, p.clock)
 	return t, nil
 }

@@ -23,7 +23,10 @@ type sessionParams struct {
 }
 
 // session gathers one window trace from a sender. It owns the emulated
-// clock for the connection.
+// clock for the connection. Sessions are owned by a Prober and reused
+// across gatherings: run re-arms the state while keeping the burst and
+// ACK scratch buffers, so steady-state gathering allocates nothing per
+// round.
 type session struct {
 	p          sessionParams
 	sender     *tcpsim.Sender
@@ -31,29 +34,32 @@ type session struct {
 	round      int64 // global round counter fed to the CC algorithms
 	maxRecvSeq int64 // highest segment received so far, as a count
 	ackedHigh  int64 // highest cumulative ACK value the probe has sent
+
+	// Reused per-round scratch (see run).
+	burst []tcpsim.Segment
+	acks  []int64
 }
 
-// run executes the session and returns the gathered trace and the
-// simulated end time.
-func runSession(sender *tcpsim.Sender, p sessionParams) (*trace.Trace, time.Duration) {
-	s := &session{p: p, sender: sender, now: p.start}
-	t := &trace.Trace{
-		Env:           p.env.Name,
-		WmaxThreshold: p.wmax,
-		MSS:           p.mss,
-	}
+// run executes the session against sender, filling t, and returns the
+// simulated end time. The session's scratch buffers survive across runs.
+func (s *session) run(sender *tcpsim.Sender, t *trace.Trace, p sessionParams) time.Duration {
+	burst, acks := s.burst, s.acks
+	*s = session{p: p, sender: sender, now: p.start, burst: burst[:0], acks: acks[:0]}
 	s.gatherPre(t)
 	if t.TimedOut {
 		s.emulateTimeout()
 		s.gatherPost(t)
 	}
-	return t, s.now
+	s.sender = nil // drop the connection so it can be collected between runs
+	return s.now
 }
 
 // receiveBurst simulates the data path: it updates the highest received
 // sequence number (subject to data-packet loss) and returns the measured
 // window of the round, w = maxSeq(r) - maxSeq(r-1), together with the
-// cumulative ACK value CAAI sends for each data packet of the burst.
+// cumulative ACK value CAAI sends for each data packet of the burst. The
+// returned ACKs live in the session's scratch and are valid until the next
+// round.
 //
 // Before the timeout CAAI acknowledges each packet as if nothing was lost
 // or reordered (the k-th ACK covers the k-th segment of the burst); after
@@ -61,7 +67,7 @@ func runSession(sender *tcpsim.Sender, p sessionParams) (*trace.Trace, time.Dura
 // what instantly re-covers the pre-timeout burst during timeout recovery.
 func (s *session) receiveBurst(burst []tcpsim.Segment, asIfInOrder bool) (int, []int64) {
 	before := s.maxRecvSeq
-	acks := make([]int64, 0, len(burst))
+	acks := s.acks[:0]
 	for k, seg := range burst {
 		if !s.p.cond.Drop(s.p.rng) {
 			if count := seg.ID + 1; count > s.maxRecvSeq {
@@ -74,6 +80,7 @@ func (s *session) receiveBurst(burst []tcpsim.Segment, asIfInOrder bool) (int, [
 			acks = append(acks, s.maxRecvSeq)
 		}
 	}
+	s.acks = acks
 	return int(s.maxRecvSeq - before), acks
 }
 
@@ -103,8 +110,8 @@ func (s *session) deliverAcks(acks []int64, rtt time.Duration) {
 // wmax, the data runs out, or the round budget is exhausted.
 func (s *session) gatherPre(t *trace.Trace) {
 	for r := 1; r <= s.p.maxPreRounds; r++ {
-		burst := s.sender.SendBurst(s.now)
-		if len(burst) == 0 {
+		s.burst = s.sender.AppendBurst(s.burst[:0], s.now)
+		if len(s.burst) == 0 {
 			if s.sender.DataExhausted() {
 				t.DataExhausted = true
 				return
@@ -115,7 +122,7 @@ func (s *session) gatherPre(t *trace.Trace) {
 			s.sender.OnRTOExpired(s.now)
 			continue
 		}
-		w, acks := s.receiveBurst(burst, true)
+		w, acks := s.receiveBurst(s.burst, true)
 		t.Pre = append(t.Pre, w)
 		if w > s.p.wmax {
 			t.TimedOut = true
@@ -141,15 +148,15 @@ func (s *session) emulateTimeout() {
 // is answered with an ACK covering everything received so far.
 func (s *session) gatherPost(t *trace.Trace) {
 	for r := 1; r <= s.p.postRounds; r++ {
-		burst := s.sender.SendBurst(s.now)
-		if len(burst) == 0 && s.sender.DataExhausted() {
+		s.burst = s.sender.AppendBurst(s.burst[:0], s.now)
+		if len(s.burst) == 0 && s.sender.DataExhausted() {
 			t.DataExhausted = true
 			return
 		}
-		w, acks := s.receiveBurst(burst, false)
+		w, acks := s.receiveBurst(s.burst, false)
 		t.Post = append(t.Post, w)
 		rtt := s.p.env.PostRTT(r)
-		if len(burst) == 0 {
+		if len(s.burst) == 0 {
 			// Silent server (e.g. one that ignores the timeout):
 			// time still passes.
 			s.now += rtt

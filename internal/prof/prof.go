@@ -1,0 +1,48 @@
+// Package prof wires the standard -cpuprofile/-memprofile flags into the
+// command-line tools, so hot-path work is profile-driven (go tool pprof)
+// rather than guessed. It is deliberately tiny: Start begins CPU profiling
+// when a path is given and returns a stop function that finishes the CPU
+// profile and snapshots the heap.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins profiling per the (possibly empty) file paths and returns a
+// stop function to defer. An empty path disables that profile. The stop
+// function is never nil.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: creating cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: starting cpu profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "prof: creating heap profile:", err)
+				return
+			}
+			runtime.GC() // materialize up-to-date allocation stats
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "prof: writing heap profile:", err)
+			}
+			f.Close()
+		}
+	}, nil
+}

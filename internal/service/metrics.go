@@ -20,16 +20,22 @@ type metrics struct {
 	inFlight       atomic.Int64 // probes currently executing (sync + batch)
 	modelsReloaded atomic.Int64
 
-	labelMu sync.Mutex
-	labels  map[string]int64 // identifications per reported label
+	// labels maps reported label -> *atomic.Int64. The label set is tiny
+	// and stabilizes after warm-up, which is sync.Map's sweet spot: the
+	// request path is a lock-free read-and-add, with the store path taken
+	// only the first time a label appears. (The previous mutex-guarded
+	// map serialized every identification on one lock; see
+	// BenchmarkCountLabel for the measured difference.)
+	labels sync.Map
 }
 
 func newMetrics() *metrics {
-	return &metrics{labels: map[string]int64{}}
+	return &metrics{}
 }
 
 // countLabel tallies one identification outcome under its reported label
-// (special shapes and invalid traces get their own buckets).
+// (special shapes and invalid traces get their own buckets). Lock-free on
+// the request path once a label's counter exists.
 func (m *metrics) countLabel(resp IdentifyResponse) {
 	label := resp.Label
 	switch {
@@ -38,9 +44,11 @@ func (m *metrics) countLabel(resp IdentifyResponse) {
 	case resp.Special != "":
 		label = "SPECIAL:" + resp.Special
 	}
-	m.labelMu.Lock()
-	m.labels[label]++
-	m.labelMu.Unlock()
+	c, ok := m.labels.Load(label)
+	if !ok {
+		c, _ = m.labels.LoadOrStore(label, new(atomic.Int64))
+	}
+	c.(*atomic.Int64).Add(1)
 }
 
 // MetricsSnapshot is the GET /metrics response body.
@@ -103,11 +111,10 @@ func (s *Service) snapshot() MetricsSnapshot {
 	out.Cache.Max = s.cfg.CacheSize
 
 	out.Labels = map[string]int64{}
-	m.labelMu.Lock()
-	for k, v := range m.labels {
-		out.Labels[k] = v
-	}
-	m.labelMu.Unlock()
+	m.labels.Range(func(k, v any) bool {
+		out.Labels[k.(string)] = v.(*atomic.Int64).Load()
+		return true
+	})
 
 	out.Models = s.modelInfos()
 	return out

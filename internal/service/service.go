@@ -20,6 +20,7 @@ import (
 	"repro/internal/netem"
 	"repro/internal/probe"
 	"repro/internal/websim"
+	"repro/internal/xrand"
 )
 
 // Config tunes a Service. The zero value of every field is usable.
@@ -226,8 +227,12 @@ func (s *Service) identify(ctx context.Context, modelName string, spec JobSpec) 
 	s.metrics.cacheMisses.Add(1)
 	s.metrics.inFlight.Add(1)
 	defer s.metrics.inFlight.Add(-1)
-	rng := rand.New(rand.NewSource(spec.Seed))
-	id := model.Identifier().Identify(server, cond, s.cfg.Probe, rng)
+	rng := xrand.New(spec.Seed)
+	// Sessions recycle probe and feature scratch across requests; the pool
+	// guarantees exclusive use for the duration of the probe.
+	sess := model.acquireSession()
+	id := sess.Identify(server, cond, s.cfg.Probe, rng)
+	model.releaseSession(sess)
 	s.metrics.identifies.Add(1)
 	resp := toResponse(model.Version(), server.Name, id)
 	s.metrics.countLabel(resp)
@@ -245,11 +250,11 @@ type inflightCall struct {
 	ok   bool
 }
 
-// countingIdentifier wraps the pipeline identifier so the in_flight gauge
-// counts individual probes on the batch path, the same unit the
-// synchronous path reports.
+// countingIdentifier wraps a pipeline identifier (shared or per-worker
+// session) so the in_flight gauge counts individual probes on the batch
+// path, the same unit the synchronous path reports.
 type countingIdentifier struct {
-	id *core.Identifier
+	id engine.Identifier[core.Identification]
 	m  *metrics
 }
 
@@ -340,6 +345,9 @@ func (s *Service) runBatch(j *job) {
 			Ctx:         j.ctx,
 			Parallelism: s.cfg.Parallelism,
 			Probe:       s.cfg.Probe,
+			NewWorkerIdentifier: func() engine.Identifier[core.Identification] {
+				return countingIdentifier{id: model.Identifier().NewSession(), m: s.metrics}
+			},
 			OnResult: func(r engine.Result[core.Identification]) {
 				g := groups[r.Index]
 				resp := toResponse(version, r.Job.Server.Name, r.Out)

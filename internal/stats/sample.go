@@ -1,0 +1,119 @@
+package stats
+
+import "sort"
+
+// Sample is a reusable collection of observations. It exists for hot loops
+// that previously rebuilt a fresh slice (and re-derived summary statistics
+// from scratch) on every call: Reset keeps the accumulated capacity, the
+// summary methods delegate to the package functions over the live values
+// (bit-identical to calling them on a plain slice), and Sorted exposes a
+// sorted-once view that is re-sorted only after new observations arrive
+// rather than on every quantile lookup.
+//
+// The zero value is ready to use. Not safe for concurrent use.
+type Sample struct {
+	xs []float64
+	// sorted caches the ordered view; stale marks it invalid after Add.
+	sorted []float64
+	stale  bool
+}
+
+// Reset empties the sample, keeping capacity for reuse.
+func (s *Sample) Reset() {
+	s.xs = s.xs[:0]
+	s.stale = true
+}
+
+// Add appends one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.stale = true
+}
+
+// Len returns the number of observations.
+func (s *Sample) Len() int { return len(s.xs) }
+
+// Values returns the live observations in insertion order (read-only by
+// convention; valid until the next Reset).
+func (s *Sample) Values() []float64 { return s.xs }
+
+// Mean returns the arithmetic mean of the observations.
+func (s *Sample) Mean() float64 { return Mean(s.xs) }
+
+// StdDev returns the sample standard deviation of the observations.
+func (s *Sample) StdDev() float64 { return StdDev(s.xs) }
+
+// MeanCI95 returns the paper's Eq. 1 upper confidence bound over the
+// observations.
+func (s *Sample) MeanCI95() float64 { return MeanCI95(s.xs) }
+
+// Sorted returns the sorted-once view of the sample. The sort runs only
+// when observations changed since the last call; repeated quantile lookups
+// between Adds cost no copying or sorting. The view shares the sample's
+// scratch and is valid until the next Add or Reset.
+func (s *Sample) Sorted() Sorted {
+	if s.stale {
+		s.sorted = append(s.sorted[:0], s.xs...)
+		sort.Float64s(s.sorted)
+		s.stale = false
+	}
+	return Sorted{xs: s.sorted}
+}
+
+// Sorted is an immutable non-decreasing view of a sample, built once and
+// queried many times (see Sample.Sorted and NewSorted).
+type Sorted struct {
+	xs []float64
+}
+
+// NewSorted copies and sorts xs once, returning the queryable view.
+func NewSorted(xs []float64) Sorted {
+	out := make([]float64, len(xs))
+	copy(out, xs)
+	sort.Float64s(out)
+	return Sorted{xs: out}
+}
+
+// Len returns the number of observations in the view.
+func (v Sorted) Len() int { return len(v.xs) }
+
+// Min returns the smallest observation, or 0 when empty.
+func (v Sorted) Min() float64 {
+	if len(v.xs) == 0 {
+		return 0
+	}
+	return v.xs[0]
+}
+
+// Max returns the largest observation, or 0 when empty.
+func (v Sorted) Max() float64 {
+	if len(v.xs) == 0 {
+		return 0
+	}
+	return v.xs[len(v.xs)-1]
+}
+
+// Quantile returns the p-quantile (p in [0, 1]) by linear interpolation
+// between order statistics, or 0 when the view is empty.
+func (v Sorted) Quantile(p float64) float64 {
+	n := len(v.xs)
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return v.xs[0]
+	}
+	if p >= 1 {
+		return v.xs[n-1]
+	}
+	pos := p * float64(n-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return v.xs[n-1]
+	}
+	return v.xs[lo] + frac*(v.xs[lo+1]-v.xs[lo])
+}
+
+// Median returns the 0.5-quantile.
+func (v Sorted) Median() float64 { return v.Quantile(0.5) }

@@ -1,0 +1,41 @@
+package tcpsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cc"
+)
+
+// TestAppendBurstZeroAllocs pins the steady-state zero-allocation contract
+// of burst generation: with a caller-recycled buffer, a full send/ack round
+// must not touch the heap once the buffer has grown to the window size.
+func TestAppendBurstZeroAllocs(t *testing.T) {
+	alg, err := cc.New("RENO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(alg, Options{MSS: 536, TotalSegments: 1 << 40})
+	rtt := 100 * time.Millisecond
+	now := time.Duration(0)
+	var burst []Segment
+
+	round := func() {
+		now += rtt
+		burst = s.AppendBurst(burst[:0], now)
+		s.BeginRound(s.conn.Round + 1)
+		for k := range burst {
+			s.DeliverAck(now, burst[0].ID+int64(k)+1, rtt)
+		}
+	}
+	// Warm up: grow the window (and the burst buffer) past any transient.
+	for i := 0; i < 12; i++ {
+		round()
+	}
+	// Pin the window so the buffer stops growing between runs.
+	s.conn.Ssthresh = s.conn.Cwnd
+
+	if allocs := testing.AllocsPerRun(100, round); allocs != 0 {
+		t.Fatalf("send/ack round allocates %v per run, want 0", allocs)
+	}
+}

@@ -157,10 +157,19 @@ func (s *Sender) window() int64 {
 }
 
 // SendBurst emits the segments the window permits at time now. It returns
-// an empty burst when the window is full or no data remains.
+// an empty burst when the window is full or no data remains. Each call
+// allocates a fresh slice; round-driven loops should use AppendBurst with
+// a reused buffer instead.
 func (s *Sender) SendBurst(now time.Duration) []Segment {
+	return s.AppendBurst(nil, now)
+}
+
+// AppendBurst is SendBurst writing into caller-owned scratch: the burst
+// segments are appended to dst and the grown slice returned, so a driver
+// that recycles its buffer (dst[:0]) emits bursts with zero steady-state
+// allocations. The appended contents are owned by the caller.
+func (s *Sender) AppendBurst(dst []Segment, now time.Duration) []Segment {
 	s.conn.Now = now
-	var burst []Segment
 	// A pending fast retransmission goes out regardless of the window.
 	if s.retransmitNext >= 0 {
 		id := s.retransmitNext
@@ -168,12 +177,28 @@ func (s *Sender) SendBurst(now time.Duration) []Segment {
 		if id > s.retransHigh {
 			s.retransHigh = id
 		}
-		burst = append(burst, Segment{ID: id, Retransmit: true})
+		dst = append(dst, Segment{ID: id, Retransmit: true})
 		s.pipe++
 	}
 	budget := s.window() - s.pipe
 	if budget <= 0 {
-		return burst
+		return dst
+	}
+	if s.resend >= s.sndNxt {
+		// Fast path: nothing to retransmit, every segment is new data.
+		end := s.resend + budget
+		if end > s.opts.TotalSegments {
+			end = s.opts.TotalSegments
+		}
+		for id := s.resend; id < end; id++ {
+			dst = append(dst, Segment{ID: id})
+		}
+		if n := end - s.resend; n > 0 {
+			s.pipe += n
+			s.resend = end
+			s.sndNxt = end
+		}
+		return dst
 	}
 	for i := int64(0); i < budget; i++ {
 		id := s.resend
@@ -184,14 +209,14 @@ func (s *Sender) SendBurst(now time.Duration) []Segment {
 		if retx && id > s.retransHigh {
 			s.retransHigh = id
 		}
-		burst = append(burst, Segment{ID: id, Retransmit: retx})
+		dst = append(dst, Segment{ID: id, Retransmit: retx})
 		s.resend++
 		if s.resend > s.sndNxt {
 			s.sndNxt = s.resend
 		}
 		s.pipe++
 	}
-	return burst
+	return dst
 }
 
 // BeginRound tells the congestion algorithm a new emulated RTT round is
@@ -251,7 +276,11 @@ func (s *Sender) DeliverAck(now time.Duration, ackSeg int64, rtt time.Duration) 
 	s.dupAcks = 0
 	before := s.conn.Cwnd
 	s.alg.OnAck(s.conn, int(acked), sample)
-	s.applySlowStartScheme(before, sample)
+	if s.opts.SlowStart != SlowStartStandard {
+		// The standard scheme is a no-op post-process; skipping the call
+		// keeps it off the per-ACK path.
+		s.applySlowStartScheme(before, sample)
+	}
 	if s.opts.CwndClamp > 0 && s.conn.Cwnd > s.opts.CwndClamp {
 		s.conn.Cwnd = s.opts.CwndClamp
 	}

@@ -1,0 +1,29 @@
+package trace
+
+// Recorder owns one reusable Trace: Reset re-arms it for a new gathering
+// while keeping the capacity of the window slices, so a long-lived prober
+// records trace after trace without reallocating Pre/Post each time.
+//
+// Ownership contract: the *Trace returned by Reset (and Trace) points into
+// the recorder and is valid only until the next Reset. Callers that need a
+// trace to outlive the recorder must copy it.
+type Recorder struct {
+	t Trace
+}
+
+// Reset clears the recorder for a new gathering in env with the given
+// wmax threshold and MSS, reusing the window buffers, and returns the
+// trace to fill.
+func (r *Recorder) Reset(env string, wmax, mss int) *Trace {
+	r.t = Trace{
+		Env:           env,
+		WmaxThreshold: wmax,
+		MSS:           mss,
+		Pre:           r.t.Pre[:0],
+		Post:          r.t.Post[:0],
+	}
+	return &r.t
+}
+
+// Trace returns the recorder's current trace.
+func (r *Recorder) Trace() *Trace { return &r.t }

@@ -1,0 +1,37 @@
+package trace
+
+import "testing"
+
+func TestRecorderResetReusesBuffers(t *testing.T) {
+	var r Recorder
+	tr := r.Reset("A", 256, 536)
+	for i := 0; i < 8; i++ {
+		tr.Pre = append(tr.Pre, i)
+		tr.Post = append(tr.Post, i*2)
+	}
+	tr.TimedOut = true
+	preCap, postCap := cap(tr.Pre), cap(tr.Post)
+
+	tr2 := r.Reset("B", 64, 100)
+	if tr2 != r.Trace() {
+		t.Fatal("Reset must return the recorder's own trace")
+	}
+	if tr2.Env != "B" || tr2.WmaxThreshold != 64 || tr2.MSS != 100 {
+		t.Fatalf("Reset kept stale header: %+v", tr2)
+	}
+	if tr2.TimedOut || tr2.DataExhausted || len(tr2.Pre) != 0 || len(tr2.Post) != 0 {
+		t.Fatalf("Reset kept stale state: %+v", tr2)
+	}
+	if cap(tr2.Pre) != preCap || cap(tr2.Post) != postCap {
+		t.Fatalf("Reset dropped buffer capacity: pre %d->%d post %d->%d",
+			preCap, cap(tr2.Pre), postCap, cap(tr2.Post))
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		tr := r.Reset("A", 256, 536)
+		for i := 0; i < 8; i++ {
+			tr.Pre = append(tr.Pre, i)
+		}
+	}); allocs != 0 {
+		t.Fatalf("warm Reset+append allocates %v per run, want 0", allocs)
+	}
+}
