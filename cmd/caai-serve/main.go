@@ -31,8 +31,29 @@ import (
 	"time"
 
 	caai "repro"
+	"repro/internal/eval"
 	"repro/internal/service"
 )
+
+// loadEvalSummary resolves -eval: a file loads that trajectory point, a
+// directory loads only the newest ACCURACY_<n>.json of its history (old
+// or stale points are neither parsed nor able to block startup).
+func loadEvalSummary(path string) (eval.Summary, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return eval.Summary{}, err
+	}
+	p := eval.Point{}
+	if info.IsDir() {
+		p, err = eval.LatestPoint(path)
+	} else {
+		p, err = eval.ReadPoint(path)
+	}
+	if err != nil {
+		return eval.Summary{}, err
+	}
+	return p.Summary, nil
+}
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -89,6 +110,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	parallelism := fs.Int("parallelism", 0, "engine pool width per running batch (0 = all CPUs)")
 	maxBatch := fs.Int("max-batch", 0, "max jobs per POST /v1/batch (0 = default 10000)")
 	retain := fs.Int("retain", 0, "finished async jobs kept pollable before eviction (0 = default 256)")
+	evalPath := fs.String("eval", "", "ACCURACY_<n>.json file or history directory; the latest point's summary is exposed on GET /metrics")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			fs.SetOutput(stdout)
@@ -120,6 +142,17 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		seen[name] = path
 		toLoad = append(toLoad, namedModel{name, path})
 	}
+	// Resolve -eval before the (potentially minutes-long) model loading and
+	// training: a typoed path should fail immediately.
+	var evalSummary *eval.Summary
+	if *evalPath != "" {
+		sum, err := loadEvalSummary(*evalPath)
+		if err != nil {
+			return fmt.Errorf("-eval: %w", err)
+		}
+		evalSummary = &sum
+	}
+
 	reg := service.NewRegistry()
 	for _, nm := range toLoad {
 		m, err := reg.Load(nm.name, nm.path)
@@ -149,6 +182,12 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		JobRetention: *retain,
 	})
 	defer svc.Close()
+
+	if evalSummary != nil {
+		svc.SetEvalSummary(*evalSummary)
+		fmt.Fprintf(stdout, "caai-serve: serving eval summary %q (overall accuracy %.1f%%) on /metrics\n",
+			evalSummary.Label, evalSummary.OverallAccuracy*100)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

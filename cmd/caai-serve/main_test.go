@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	caai "repro"
+	"repro/internal/eval"
 )
 
 func TestSplitModelFlag(t *testing.T) {
@@ -380,5 +382,65 @@ func TestRunRejectsModelPlusTrain(t *testing.T) {
 	err := run(context.Background(), []string{"-model", "m.json", "-train", "4"}, &out)
 	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
 		t.Fatalf("-model + -train err = %v", err)
+	}
+}
+
+// TestServeEvalSummaryFlag: -eval loads the newest ACCURACY_<n>.json of a
+// history directory and exposes its summary on GET /metrics.
+func TestServeEvalSummaryFlag(t *testing.T) {
+	dir := t.TempDir()
+	older := eval.Point{Schema: eval.PointSchema, Source: "caai-eval",
+		Summary: eval.Summary{Label: "older", OverallAccuracy: 0.8}}
+	newest := eval.Point{Schema: eval.PointSchema, Source: "caai-eval",
+		Summary: eval.Summary{Label: "newest", OverallAccuracy: 0.9,
+			ScenarioAccuracy: map[string]float64{"clean": 0.99}}}
+	if err := eval.WritePoint(filepath.Join(dir, "ACCURACY_0.json"), older); err != nil {
+		t.Fatal(err)
+	}
+	if err := eval.WritePoint(filepath.Join(dir, "ACCURACY_1.json"), newest); err != nil {
+		t.Fatal(err)
+	}
+
+	base, out, shutdown := startServe(t, []string{"-train", "3", "-trees", "8", "-eval", dir})
+	defer shutdown()
+	if !strings.Contains(out.String(), `serving eval summary "newest"`) {
+		t.Fatalf("missing eval banner: %s", out.String())
+	}
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		Eval *eval.Summary `json:"eval"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Eval == nil || snap.Eval.Label != "newest" || snap.Eval.ScenarioAccuracy["clean"] != 0.99 {
+		t.Fatalf("metrics eval = %+v", snap.Eval)
+	}
+}
+
+// TestLoadEvalSummaryErrors: a missing path, an empty history, and a
+// non-ACCURACY JSON file all fail loudly instead of serving silence.
+func TestLoadEvalSummaryErrors(t *testing.T) {
+	if _, err := loadEvalSummary(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("missing -eval path should error")
+	}
+	if _, err := loadEvalSummary(t.TempDir()); err == nil {
+		t.Fatal("empty -eval history should error")
+	}
+	foreign := filepath.Join(t.TempDir(), "BENCH_0.json")
+	if err := os.WriteFile(foreign, []byte(`{"schema":1,"source":"caai-bench"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadEvalSummary(foreign); err == nil {
+		t.Fatal("a non-ACCURACY point should be rejected, not served as 0% accuracy")
+	}
+	var out bytes.Buffer
+	err := run(context.Background(), []string{"-train", "1", "-eval", "/does/not/exist"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-eval") {
+		t.Fatalf("run with bad -eval = %v", err)
 	}
 }

@@ -12,13 +12,13 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
 	"regexp"
 	"runtime"
 	"sort"
 	"testing"
 
 	"repro/internal/stats"
+	"repro/internal/trajectory"
 )
 
 // Result is one measured benchmark.
@@ -121,29 +121,13 @@ func Run(cases []Case, filter *regexp.Regexp, log io.Writer) ([]Result, error) {
 	return out, nil
 }
 
-// benchFilePattern matches trajectory file names and captures the index.
-var benchFilePattern = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+// filePrefix names the trajectory files (BENCH_<n>.json).
+const filePrefix = "BENCH"
 
 // NextPointPath returns the path of the next trajectory file in dir
 // (BENCH_<max+1>.json, starting at BENCH_0.json in an empty history).
 func NextPointPath(dir string) (string, error) {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return "", err
-	}
-	next := 0
-	for _, e := range entries {
-		m := benchFilePattern.FindStringSubmatch(e.Name())
-		if m == nil {
-			continue
-		}
-		var n int
-		fmt.Sscanf(m[1], "%d", &n)
-		if n+1 > next {
-			next = n + 1
-		}
-	}
-	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", next)), nil
+	return trajectory.NextPath(dir, filePrefix)
 }
 
 // WritePoint writes p to path as indented JSON.
@@ -176,32 +160,17 @@ func ReadPoint(path string) (Point, error) {
 
 // History loads every BENCH_<n>.json in dir in index order.
 func History(dir string) ([]Point, error) {
-	entries, err := os.ReadDir(dir)
+	entries, err := trajectory.Entries(dir, filePrefix)
 	if err != nil {
 		return nil, err
 	}
-	type indexed struct {
-		n int
-		p Point
-	}
-	var pts []indexed
-	for _, e := range entries {
-		m := benchFilePattern.FindStringSubmatch(e.Name())
-		if m == nil {
-			continue
-		}
-		var n int
-		fmt.Sscanf(m[1], "%d", &n)
-		p, err := ReadPoint(filepath.Join(dir, e.Name()))
+	out := make([]Point, len(entries))
+	for i, e := range entries {
+		p, err := ReadPoint(e.Path)
 		if err != nil {
 			return nil, err
 		}
-		pts = append(pts, indexed{n, p})
-	}
-	sort.Slice(pts, func(i, j int) bool { return pts[i].n < pts[j].n })
-	out := make([]Point, len(pts))
-	for i, ip := range pts {
-		out[i] = ip.p
+		out[i] = p
 	}
 	return out, nil
 }

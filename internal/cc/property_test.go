@@ -1,0 +1,191 @@
+package cc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// betaSpec is the multiplicative-decrease contract of one algorithm: the
+// acceptable ssthresh/cwnd ratio after a loss in steady congestion
+// avoidance at a constant RTT (no queueing-delay signal). The table is
+// consulted through the registry, so registering a new algorithm without
+// declaring its decrease contract fails TestMultiplicativeDecreaseSpec
+// instead of silently escaping coverage.
+type betaSpec struct {
+	lo, hi float64
+	why    string
+}
+
+// betaSpecs covers every registry algorithm. Constant-RTT steady state
+// pins the delay-adaptive ones to their no-congestion operating point
+// (VENO's random-loss 0.8, ILLINOIS' beta_min, YeAH's fast mode).
+var betaSpecs = map[string]betaSpec{
+	"RENO":     {0.49, 0.51, "AIMD halves"},
+	"BIC":      {0.78, 0.82, "beta 0.8 above the low-window threshold"},
+	"CTCP1":    {0.49, 0.51, "Compound TCP halves the loss window"},
+	"CTCP2":    {0.49, 0.51, "Compound TCP halves the loss window"},
+	"CUBIC1":   {0.78, 0.82, "Linux <=2.6.25 beta 0.8"},
+	"CUBIC2":   {0.69, 0.72, "Linux >=2.6.26 beta 0.7"},
+	"HSTCP":    {0.49, 0.80, "RFC 3649 b(w): 0.5 at small w, shrinking with w"},
+	"HTCP":     {0.75, 0.85, "RTT-ratio beta clamps to 0.8 at constant RTT"},
+	"ILLINOIS": {0.86, 0.89, "beta_min 1/8 without queueing delay"},
+	"STCP":     {0.86, 0.89, "scalable beta 0.875"},
+	"VEGAS":    {0.49, 0.51, "loss response stays RENO's half"},
+	"VENO":     {0.78, 0.82, "random-loss decrease 4/5 without backlog"},
+	"WESTWOOD": {0.0, 1.10, "ssthresh tracks bw*RTTmin, not a fixed fraction"},
+	"YEAH":     {0.84, 0.90, "fast mode sheds max(queue, w/8)"},
+	"HYBLA":    {0.49, 0.51, "RENO decrease with rho-scaled growth"},
+	"LP":       {0.49, 0.51, "RENO decrease with delay-based backoff"},
+}
+
+// TestMultiplicativeDecreaseSpec property-checks every registered
+// algorithm's decrease factor against its spec across random window sizes,
+// and fails when a registry entry has no spec at all.
+func TestMultiplicativeDecreaseSpec(t *testing.T) {
+	for _, name := range Names() {
+		spec, ok := betaSpecs[name]
+		if !ok {
+			t.Fatalf("algorithm %s has no betaSpec: declare its multiplicative-decrease contract", name)
+		}
+		t.Run(name, func(t *testing.T) {
+			f := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				cwnd := 64 + rng.Float64()*836 // above every low-window special case
+				alg, err := New(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				c := newConnInCA(cwnd)
+				alg.Reset(c)
+				runRounds(alg, c, 3, rtt1s) // constant RTT: no congestion signal
+				cw := c.Cwnd
+				beta := alg.Ssthresh(c) / cw
+				if beta < spec.lo || beta > spec.hi {
+					t.Logf("%s: beta %.4f outside [%v, %v] at cwnd %.1f (%s)",
+						name, beta, spec.lo, spec.hi, cw, spec.why)
+					return false
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestWindowInvariantsUnderHostileDrive property-checks every registered
+// algorithm through random ACK/timeout storms with wildly varying RTTs:
+// the congestion window must stay positive and finite, the connection's
+// slow start threshold must stay positive and finite, and every decrease
+// the algorithm proposes must respect the two-packet floor.
+func TestWindowInvariantsUnderHostileDrive(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			f := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				alg, err := New(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				c := newConnInCA(2 + rng.Float64()*500)
+				alg.Reset(c)
+				check := func(context string) bool {
+					switch {
+					case !(c.Cwnd > 0) || math.IsInf(c.Cwnd, 0):
+						t.Logf("%s seed %d: cwnd %v after %s", name, seed, c.Cwnd, context)
+						return false
+					case !(c.Ssthresh > 0) || math.IsInf(c.Ssthresh, 0):
+						t.Logf("%s seed %d: ssthresh %v after %s", name, seed, c.Ssthresh, context)
+						return false
+					}
+					return true
+				}
+				for step := 0; step < 120; step++ {
+					switch rng.Intn(10) {
+					case 0: // retransmission timeout, as the sender applies it
+						th := alg.Ssthresh(c)
+						if th < 2 || math.IsNaN(th) || math.IsInf(th, 0) {
+							t.Logf("%s seed %d: Ssthresh() = %v", name, seed, th)
+							return false
+						}
+						c.Ssthresh = th
+						c.Cwnd = 1
+						c.LossEvents++
+						alg.OnTimeout(c)
+						if !check("timeout") {
+							return false
+						}
+					case 1: // round boundary
+						c.Round++
+						c.Now += time.Duration(1+rng.Intn(2000)) * time.Millisecond
+					default: // ACK with a random (sometimes invalid) RTT sample
+						rtt := time.Duration(rng.Intn(2500)) * time.Millisecond
+						if rng.Intn(8) == 0 {
+							rtt = 0 // Karn's rule: invalid sample
+						}
+						c.ObserveRTT(rtt)
+						alg.OnAck(c, 1+rng.Intn(3), rtt)
+						if !check("ack") {
+							return false
+						}
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestSlowStartMonotoneGrowth property-checks every registered algorithm
+// in slow start: window growth is monotone per ACK (never a decrease) and
+// strictly positive across rounds, at any constant RTT.
+func TestSlowStartMonotoneGrowth(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			f := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				rtt := time.Duration(50+rng.Intn(1500)) * time.Millisecond
+				alg, err := New(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				c := NewConn(536, 2+rng.Float64()*6)
+				alg.Reset(c)
+				start := c.Cwnd
+				for round := 0; round < 5 && c.InSlowStart(); round++ {
+					c.Round++
+					acks := int(c.Cwnd)
+					if acks > 1000 {
+						acks = 1000 // bound the drive (HYBLA explodes by design)
+					}
+					for i := 0; i < acks && c.InSlowStart(); i++ {
+						before := c.Cwnd
+						c.ObserveRTT(rtt)
+						alg.OnAck(c, 1, rtt)
+						if c.Cwnd < before-1e-9 {
+							t.Logf("%s seed %d: slow start shrank %.3f -> %.3f in round %d",
+								name, seed, before, c.Cwnd, round)
+							return false
+						}
+					}
+					c.Now += rtt
+				}
+				if c.Cwnd <= start {
+					t.Logf("%s seed %d: no slow start growth (%.3f -> %.3f)", name, seed, start, c.Cwnd)
+					return false
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}

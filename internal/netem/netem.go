@@ -16,7 +16,13 @@ import (
 )
 
 // Condition is one sampled network condition between the prober and a
-// server.
+// server. The paper's three dimensions (mean RTT, RTT standard deviation,
+// uniform loss) cover its testbed emulation; the additional knobs below
+// extend the model to the hostile conditions the evaluation matrix
+// (internal/eval) sweeps: packet reordering, duplication, and bursty loss
+// under a two-state Gilbert–Elliott channel. All extra knobs default to
+// zero (off), and a condition with none of them set behaves — draw for
+// draw on the RNG — exactly as before they existed.
 type Condition struct {
 	// MeanRTT is the average round-trip time of the real path. The
 	// emulated environments require it to be below the emulated RTT.
@@ -25,13 +31,51 @@ type Condition struct {
 	// the RTT samples the server observes around the emulated value.
 	RTTStdDev time.Duration
 	// LossRate is the probability that any single packet (data or ACK)
-	// is lost on the path, in [0, 1].
+	// is lost on the path, in [0, 1]. Ignored while a Gilbert–Elliott
+	// burst-loss model is configured (GEBadLoss > 0).
 	LossRate float64
+
+	// ReorderRate is the probability that a data packet is overtaken by
+	// its successor (NetEm-style adjacent swap), in [0, 1].
+	ReorderRate float64
+	// DupRate is the probability that a data packet arrives twice, each
+	// copy acknowledged, in [0, 1].
+	DupRate float64
+
+	// Gilbert–Elliott burst loss: the path alternates between a good and
+	// a bad state with per-packet transition probabilities GEPGoodBad and
+	// GEPBadGood; packets drop with probability GEGoodLoss in the good
+	// state and GEBadLoss in the bad state. The model is active when
+	// GEBadLoss > 0, and then replaces the uniform LossRate. Per-path
+	// state lives in a Path (see NewPath); Condition itself stays
+	// immutable and safe to share.
+	GEPGoodBad float64
+	GEPBadGood float64
+	GEGoodLoss float64
+	GEBadLoss  float64
 }
 
 // String renders the condition compactly.
 func (c Condition) String() string {
-	return fmt.Sprintf("rtt=%v±%v loss=%.2f%%", c.MeanRTT, c.RTTStdDev, c.LossRate*100)
+	s := fmt.Sprintf("rtt=%v±%v loss=%.2f%%", c.MeanRTT, c.RTTStdDev, c.LossRate*100)
+	if c.ReorderRate > 0 {
+		s += fmt.Sprintf(" reorder=%.1f%%", c.ReorderRate*100)
+	}
+	if c.DupRate > 0 {
+		s += fmt.Sprintf(" dup=%.1f%%", c.DupRate*100)
+	}
+	if c.GEBadLoss > 0 {
+		s += fmt.Sprintf(" ge=[%.2f%%/%.2f%% p=%.2f/%.2f]",
+			c.GEGoodLoss*100, c.GEBadLoss*100, c.GEPGoodBad, c.GEPBadGood)
+	}
+	return s
+}
+
+// Impaired reports whether any of the extended impairments (reordering,
+// duplication, burst loss) is active. The probe session uses it to keep
+// the original, bit-stable fast path for plain conditions.
+func (c Condition) Impaired() bool {
+	return c.ReorderRate > 0 || c.DupRate > 0 || c.GEBadLoss > 0
 }
 
 // Lossless is the ideal testbed condition used for Fig. 3.
@@ -123,7 +167,71 @@ func (c Condition) Jitter(rng *rand.Rand, emulated time.Duration) time.Duration 
 	return j
 }
 
-// Drop reports whether a single packet is lost under this condition.
+// Drop reports whether a single packet is lost under this condition's
+// uniform loss model. Burst-losing paths must go through a Path, which
+// carries the Gilbert–Elliott channel state.
 func (c Condition) Drop(rng *rand.Rand) bool {
 	return c.LossRate > 0 && rng.Float64() < c.LossRate
+}
+
+// Path is the stateful view of a Condition for one connection: it carries
+// the Gilbert–Elliott channel state that Condition, being an immutable
+// shared value, cannot. A zero Path is unusable; call Reset before a
+// gathering (the prober resets its Path per connection). Not safe for
+// concurrent use.
+type Path struct {
+	cond Condition
+	bad  bool // current Gilbert–Elliott channel state
+}
+
+// NewPath returns a path over cond, starting in the good state.
+func NewPath(cond Condition) *Path {
+	return &Path{cond: cond}
+}
+
+// Reset re-points the path at cond and returns the channel to the good
+// state, as a fresh connection would see it.
+func (p *Path) Reset(cond Condition) {
+	p.cond = cond
+	p.bad = false
+}
+
+// Cond returns the condition the path is replaying.
+func (p *Path) Cond() Condition { return p.cond }
+
+// Drop reports whether a single packet is lost. With a Gilbert–Elliott
+// model configured it first advances the channel state (one draw), then
+// draws the state's loss rate; otherwise it is exactly Condition.Drop —
+// same draws, same outcomes.
+func (p *Path) Drop(rng *rand.Rand) bool {
+	c := &p.cond
+	if c.GEBadLoss <= 0 {
+		return c.Drop(rng)
+	}
+	if p.bad {
+		if c.GEPBadGood > 0 && rng.Float64() < c.GEPBadGood {
+			p.bad = false
+		}
+	} else {
+		if c.GEPGoodBad > 0 && rng.Float64() < c.GEPGoodBad {
+			p.bad = true
+		}
+	}
+	loss := c.GEGoodLoss
+	if p.bad {
+		loss = c.GEBadLoss
+	}
+	return loss > 0 && rng.Float64() < loss
+}
+
+// Dup reports whether a data packet is duplicated. It draws from rng only
+// when duplication is configured, so plain conditions keep their streams.
+func (p *Path) Dup(rng *rand.Rand) bool {
+	return p.cond.DupRate > 0 && rng.Float64() < p.cond.DupRate
+}
+
+// Reorder reports whether a data packet is overtaken by its successor. It
+// draws from rng only when reordering is configured.
+func (p *Path) Reorder(rng *rand.Rand) bool {
+	return p.cond.ReorderRate > 0 && rng.Float64() < p.cond.ReorderRate
 }

@@ -112,6 +112,10 @@ type Result struct {
 type Prober struct {
 	cfg  Config
 	cond netem.Condition
+	// path is the stateful impairment view of cond (Gilbert–Elliott burst
+	// state); it is reset per gathering so every connection starts the
+	// channel in the good state.
+	path netem.Path
 	rng  *rand.Rand
 	// clock is the wall-clock of this prober's experiments; it advances
 	// across sessions and the inter-environment waits.
@@ -197,11 +201,12 @@ func (p *Prober) GatherEnv(server *websim.Server, env Environment, wmax, mss int
 		return nil, err
 	}
 	t := p.newTrace(env.Name, wmax, mss)
+	p.path.Reset(p.cond)
 	p.clock = p.sess.run(sender, t, sessionParams{
 		env:          env,
 		wmax:         wmax,
 		mss:          mss,
-		cond:         p.cond,
+		path:         &p.path,
 		rng:          p.rng,
 		maxPreRounds: p.cfg.MaxPreRounds,
 		postRounds:   p.cfg.PostRounds,

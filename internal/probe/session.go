@@ -11,10 +11,13 @@ import (
 
 // sessionParams bundles everything one trace-gathering session needs.
 type sessionParams struct {
-	env          Environment
-	wmax         int
-	mss          int
-	cond         netem.Condition
+	env  Environment
+	wmax int
+	mss  int
+	// path is the single source of truth for the network condition: it
+	// carries both the immutable knobs (path.Cond()) and the per-
+	// connection burst-loss state.
+	path         *netem.Path
 	rng          *rand.Rand
 	maxPreRounds int
 	postRounds   int
@@ -66,10 +69,13 @@ func (s *session) run(sender *tcpsim.Sender, t *trace.Trace, p sessionParams) ti
 // the timeout every ACK acknowledges all data received so far, which is
 // what instantly re-covers the pre-timeout burst during timeout recovery.
 func (s *session) receiveBurst(burst []tcpsim.Segment, asIfInOrder bool) (int, []int64) {
+	if s.p.path.Cond().Impaired() {
+		return s.receiveBurstImpaired(burst, asIfInOrder)
+	}
 	before := s.maxRecvSeq
 	acks := s.acks[:0]
 	for k, seg := range burst {
-		if !s.p.cond.Drop(s.p.rng) {
+		if !s.p.path.Drop(s.p.rng) {
 			if count := seg.ID + 1; count > s.maxRecvSeq {
 				s.maxRecvSeq = count
 			}
@@ -84,6 +90,53 @@ func (s *session) receiveBurst(burst []tcpsim.Segment, asIfInOrder bool) (int, [
 	return int(s.maxRecvSeq - before), acks
 }
 
+// receiveBurstImpaired is receiveBurst under the extended netem
+// impairments: adjacent reordering and duplication on the data path, plus
+// burst loss through the path's Gilbert–Elliott channel state. Before the
+// timeout the ACK stream stays sequential no matter what arrived (the
+// paper's reordering counter-measure), so a duplicate produces a repeated
+// cumulative ACK rather than acknowledging unsent data; after the timeout
+// every copy acknowledges everything received so far, as the plain path
+// does.
+func (s *session) receiveBurstImpaired(burst []tcpsim.Segment, asIfInOrder bool) (int, []int64) {
+	before := s.maxRecvSeq
+	acks := s.acks[:0]
+	path, rng := s.p.path, s.p.rng
+	inOrder := int64(0) // as-if-in-order arrival count within the burst
+	arrive := func(seg tcpsim.Segment) {
+		duplicated := path.Dup(rng)
+		for copies := 0; copies < 2; copies++ {
+			if !path.Drop(rng) {
+				if count := seg.ID + 1; count > s.maxRecvSeq {
+					s.maxRecvSeq = count
+				}
+			}
+			if asIfInOrder {
+				if copies == 0 {
+					inOrder++
+				}
+				acks = append(acks, burst[0].ID+inOrder)
+			} else {
+				acks = append(acks, s.maxRecvSeq)
+			}
+			if !duplicated {
+				break
+			}
+		}
+	}
+	for i := 0; i < len(burst); i++ {
+		if i+1 < len(burst) && path.Reorder(rng) {
+			arrive(burst[i+1]) // the successor overtakes this packet
+			arrive(burst[i])
+			i++
+			continue
+		}
+		arrive(burst[i])
+	}
+	s.acks = acks
+	return int(s.maxRecvSeq - before), acks
+}
+
 // deliverAcks sends the prepared cumulative ACKs, each independently
 // subject to ACK loss, all arriving after the emulated RTT of the round.
 func (s *session) deliverAcks(acks []int64, rtt time.Duration) {
@@ -91,14 +144,14 @@ func (s *session) deliverAcks(acks []int64, rtt time.Duration) {
 		return
 	}
 	arrive := s.now + rtt
-	sample := rtt + s.p.cond.Jitter(s.p.rng, rtt)
+	sample := rtt + s.p.path.Cond().Jitter(s.p.rng, rtt)
 	s.round++
 	s.sender.BeginRound(s.round)
 	for _, ackSeg := range acks {
 		if ackSeg > s.ackedHigh {
 			s.ackedHigh = ackSeg
 		}
-		if s.p.cond.Drop(s.p.rng) {
+		if s.p.path.Drop(s.p.rng) {
 			continue // ACK lost on the way to the server
 		}
 		s.sender.DeliverAck(arrive, ackSeg, sample)

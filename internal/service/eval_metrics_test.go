@@ -1,0 +1,85 @@
+package service
+
+import (
+	"net/http"
+	"testing"
+
+	"repro/internal/eval"
+)
+
+// TestMetricsExposesEvalSummary: /metrics carries no eval block until a
+// summary is installed, then serves the latest one.
+func TestMetricsExposesEvalSummary(t *testing.T) {
+	s, ts := newTestService(t, Config{}, &fakeClassifier{Label: "RENO", Confidence: 1})
+
+	var before MetricsSnapshot
+	if resp := getJSON(t, ts.URL+"/metrics", &before); resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if before.Eval != nil {
+		t.Fatalf("metrics should have no eval block before SetEvalSummary: %+v", before.Eval)
+	}
+
+	s.SetEvalSummary(eval.Summary{
+		Label:            "baseline",
+		OverallAccuracy:  0.91,
+		ScenarioAccuracy: map[string]float64{"clean": 0.99, "loss_5": 0.72},
+		Cells:            252,
+	})
+	var after MetricsSnapshot
+	getJSON(t, ts.URL+"/metrics", &after)
+	if after.Eval == nil {
+		t.Fatal("metrics missing eval block after SetEvalSummary")
+	}
+	if after.Eval.Label != "baseline" || after.Eval.OverallAccuracy != 0.91 {
+		t.Fatalf("eval summary = %+v", after.Eval)
+	}
+	if after.Eval.ScenarioAccuracy["loss_5"] != 0.72 {
+		t.Fatalf("scenario accuracy lost: %+v", after.Eval.ScenarioAccuracy)
+	}
+
+	// A newer summary replaces the old one.
+	s.SetEvalSummary(eval.Summary{Label: "newer", OverallAccuracy: 0.93})
+	getJSON(t, ts.URL+"/metrics", &after)
+	if after.Eval.Label != "newer" {
+		t.Fatalf("stale eval summary served: %+v", after.Eval)
+	}
+}
+
+// TestConditionSpecExtendedKnobs covers the wire surface of the extended
+// netem impairments: valid knobs probe, invalid ones answer 400.
+func TestConditionSpecExtendedKnobs(t *testing.T) {
+	_, ts := newTestService(t, Config{}, &fakeClassifier{Label: "RENO", Confidence: 1})
+
+	ok := map[string]any{
+		"server": map[string]any{"algorithm": "RENO"},
+		"condition": map[string]any{
+			"reorder_rate":     0.1,
+			"dup_rate":         0.05,
+			"burst_loss_rate":  0.3,
+			"burst_p_good_bad": 0.05,
+			"burst_p_bad_good": 0.4,
+		},
+		"seed": 3,
+	}
+	if resp, data := postJSON(t, ts.URL+"/v1/identify", ok); resp.StatusCode != http.StatusOK {
+		t.Fatalf("impaired identify status %d: %s", resp.StatusCode, data)
+	}
+
+	for name, cond := range map[string]map[string]any{
+		"reorder_rate out of range":      {"reorder_rate": 1.5},
+		"dup_rate negative":              {"dup_rate": -0.1},
+		"burst knobs without rate":       {"burst_p_good_bad": 0.1},
+		"burst rate that can never drop": {"burst_loss_rate": 0.3},
+		"burst_loss_rate over 1":         {"burst_loss_rate": 1.2},
+		"burst_good_loss out of range":   {"burst_loss_rate": 0.2, "burst_good_loss_rate": 2.0},
+	} {
+		body := map[string]any{
+			"server":    map[string]any{"algorithm": "RENO"},
+			"condition": cond,
+		}
+		if resp, data := postJSON(t, ts.URL+"/v1/identify", body); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400: %s", name, resp.StatusCode, data)
+		}
+	}
+}

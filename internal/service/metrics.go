@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/eval"
 )
 
 // metrics aggregates the service counters exposed at GET /metrics. All
@@ -74,6 +76,11 @@ type MetricsSnapshot struct {
 
 	Labels map[string]int64 `json:"labels"`
 	Models []ModelInfo      `json:"models"`
+
+	// Eval is the latest scenario-matrix evaluation summary (overall and
+	// per-scenario accuracy of the newest ACCURACY_<n>.json point), when
+	// one was installed with Service.SetEvalSummary; absent otherwise.
+	Eval *eval.Summary `json:"eval,omitempty"`
 }
 
 // ModelInfo describes one registry entry in /metrics and reload responses.
@@ -117,6 +124,7 @@ func (s *Service) snapshot() MetricsSnapshot {
 	})
 
 	out.Models = s.modelInfos()
+	out.Eval = s.latestEvalSummary()
 	return out
 }
 

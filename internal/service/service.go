@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/eval"
 	"repro/internal/netem"
 	"repro/internal/probe"
 	"repro/internal/websim"
@@ -101,6 +102,13 @@ type Service struct {
 	finished []string // terminal job IDs, oldest first (retention queue)
 	nextJob  int64
 
+	// evalSummary holds the latest scenario-matrix evaluation summary
+	// (see internal/eval), exposed through GET /metrics so operators see
+	// the accuracy posture of the serving model next to its traffic
+	// counters. The stored value is immutable after Set.
+	evalMu      sync.RWMutex
+	evalSummary *eval.Summary
+
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
@@ -143,6 +151,29 @@ func New(reg *Registry, cfg Config) *Service {
 
 // Registry exposes the model registry (for reload tooling).
 func (s *Service) Registry() *Registry { return s.registry }
+
+// SetEvalSummary installs the latest scenario-matrix evaluation summary
+// for GET /metrics (typically the newest ACCURACY_<n>.json point, loaded
+// at startup by cmd/caai-serve -eval). The summary is copied; callers may
+// keep mutating their value.
+func (s *Service) SetEvalSummary(sum eval.Summary) {
+	cp := sum
+	cp.ScenarioAccuracy = make(map[string]float64, len(sum.ScenarioAccuracy))
+	for k, v := range sum.ScenarioAccuracy {
+		cp.ScenarioAccuracy[k] = v
+	}
+	s.evalMu.Lock()
+	s.evalSummary = &cp
+	s.evalMu.Unlock()
+}
+
+// latestEvalSummary returns the installed summary pointer (immutable), or
+// nil when none was set.
+func (s *Service) latestEvalSummary() *eval.Summary {
+	s.evalMu.RLock()
+	defer s.evalMu.RUnlock()
+	return s.evalSummary
+}
 
 // Close stops the batch executors and cancels running jobs. In-flight
 // probes finish; queued jobs are marked failed. Safe to call twice.

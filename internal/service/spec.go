@@ -74,7 +74,10 @@ func (s ServerSpec) build() (*websim.Server, error) {
 	return srv, nil
 }
 
-// ConditionSpec is the wire description of the emulated network path.
+// ConditionSpec is the wire description of the emulated network path,
+// covering the paper's three dimensions plus the extended impairments the
+// evaluation matrix sweeps (reordering, duplication, Gilbert–Elliott
+// burst loss).
 type ConditionSpec struct {
 	// MeanRTTMs is the mean path RTT in milliseconds (default 50).
 	MeanRTTMs float64 `json:"mean_rtt_ms,omitempty"`
@@ -82,23 +85,63 @@ type ConditionSpec struct {
 	RTTStdDevMs float64 `json:"rtt_stddev_ms,omitempty"`
 	// LossRate is the per-packet loss probability in [0, 1].
 	LossRate float64 `json:"loss_rate,omitempty"`
+	// ReorderRate is the probability a data packet is overtaken by its
+	// successor, in [0, 1].
+	ReorderRate float64 `json:"reorder_rate,omitempty"`
+	// DupRate is the probability a data packet arrives twice, in [0, 1].
+	DupRate float64 `json:"dup_rate,omitempty"`
+	// Burst loss (Gilbert–Elliott): active when BurstLossRate > 0, then
+	// replacing LossRate. BurstPGoodBad/BurstPBadGood are the per-packet
+	// state transition probabilities; BurstGoodLossRate is the residual
+	// loss in the good state.
+	BurstLossRate     float64 `json:"burst_loss_rate,omitempty"`
+	BurstPGoodBad     float64 `json:"burst_p_good_bad,omitempty"`
+	BurstPBadGood     float64 `json:"burst_p_bad_good,omitempty"`
+	BurstGoodLossRate float64 `json:"burst_good_loss_rate,omitempty"`
 }
 
 func (c ConditionSpec) build() (netem.Condition, error) {
 	if c.MeanRTTMs < 0 || c.RTTStdDevMs < 0 {
 		return netem.Condition{}, fmt.Errorf("condition RTTs must be non-negative")
 	}
-	if c.LossRate < 0 || c.LossRate > 1 {
-		return netem.Condition{}, fmt.Errorf("condition.loss_rate must be in [0, 1]")
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"loss_rate", c.LossRate},
+		{"reorder_rate", c.ReorderRate},
+		{"dup_rate", c.DupRate},
+		{"burst_loss_rate", c.BurstLossRate},
+		{"burst_p_good_bad", c.BurstPGoodBad},
+		{"burst_p_bad_good", c.BurstPBadGood},
+		{"burst_good_loss_rate", c.BurstGoodLossRate},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return netem.Condition{}, fmt.Errorf("condition.%s must be in [0, 1]", p.name)
+		}
+	}
+	if c.BurstLossRate == 0 && (c.BurstPGoodBad != 0 || c.BurstPBadGood != 0 || c.BurstGoodLossRate != 0) {
+		return netem.Condition{}, fmt.Errorf("condition burst_* knobs need burst_loss_rate > 0")
+	}
+	if c.BurstLossRate > 0 && c.BurstPGoodBad == 0 && c.BurstGoodLossRate == 0 {
+		// The chain would never leave the lossless good state: the caller
+		// asked for burst loss and would silently get a clean path.
+		return netem.Condition{}, fmt.Errorf("condition.burst_loss_rate needs burst_p_good_bad > 0 (or burst_good_loss_rate > 0)")
 	}
 	mean := c.MeanRTTMs
 	if mean == 0 {
 		mean = 50
 	}
 	return netem.Condition{
-		MeanRTT:   time.Duration(mean * float64(time.Millisecond)),
-		RTTStdDev: time.Duration(c.RTTStdDevMs * float64(time.Millisecond)),
-		LossRate:  c.LossRate,
+		MeanRTT:     time.Duration(mean * float64(time.Millisecond)),
+		RTTStdDev:   time.Duration(c.RTTStdDevMs * float64(time.Millisecond)),
+		LossRate:    c.LossRate,
+		ReorderRate: c.ReorderRate,
+		DupRate:     c.DupRate,
+		GEPGoodBad:  c.BurstPGoodBad,
+		GEPBadGood:  c.BurstPBadGood,
+		GEGoodLoss:  c.BurstGoodLossRate,
+		GEBadLoss:   c.BurstLossRate,
 	}, nil
 }
 

@@ -1,0 +1,78 @@
+// Package trajectory implements the shared <PREFIX>_<n>.json history
+// naming used by the machine-readable regression trajectories: the perf
+// history (BENCH_<n>.json, internal/bench) and the accuracy history
+// (ACCURACY_<n>.json, internal/eval). One scan implementation keeps the
+// two histories' indexing behaviour identical.
+package trajectory
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Entry is one history file.
+type Entry struct {
+	// Index is the <n> of <prefix>_<n>.json.
+	Index int
+	// Path is the file's full path.
+	Path string
+}
+
+func pattern(prefix string) *regexp.Regexp {
+	return regexp.MustCompile(`^` + regexp.QuoteMeta(prefix) + `_(\d+)\.json$`)
+}
+
+// Entries returns dir's history files for prefix in index order.
+func Entries(dir, prefix string) ([]Entry, error) {
+	list, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pat := pattern(prefix)
+	var out []Entry
+	for _, e := range list {
+		m := pat.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil {
+			continue // only possible on an index overflowing int
+		}
+		out = append(out, Entry{Index: n, Path: filepath.Join(dir, e.Name())})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out, nil
+}
+
+// NextPath returns the path of the next history file in dir
+// (<prefix>_<max+1>.json, starting at <prefix>_0.json in an empty
+// history).
+func NextPath(dir, prefix string) (string, error) {
+	entries, err := Entries(dir, prefix)
+	if err != nil {
+		return "", err
+	}
+	next := 0
+	if len(entries) > 0 {
+		next = entries[len(entries)-1].Index + 1
+	}
+	return filepath.Join(dir, fmt.Sprintf("%s_%d.json", prefix, next)), nil
+}
+
+// LatestPath returns the highest-indexed history file in dir, or an error
+// naming the empty history.
+func LatestPath(dir, prefix string) (string, error) {
+	entries, err := Entries(dir, prefix)
+	if err != nil {
+		return "", err
+	}
+	if len(entries) == 0 {
+		return "", fmt.Errorf("trajectory: no %s_<n>.json points in %s", prefix, dir)
+	}
+	return entries[len(entries)-1].Path, nil
+}

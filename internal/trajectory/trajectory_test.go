@@ -1,0 +1,45 @@
+package trajectory
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func touch(t *testing.T, dir, name string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanNextAndLatest(t *testing.T) {
+	dir := t.TempDir()
+	if p, err := NextPath(dir, "BENCH"); err != nil || filepath.Base(p) != "BENCH_0.json" {
+		t.Fatalf("empty history NextPath = %v, %v", p, err)
+	}
+	if _, err := LatestPath(dir, "BENCH"); err == nil {
+		t.Fatal("LatestPath on an empty history must error")
+	}
+	touch(t, dir, "BENCH_0.json")
+	touch(t, dir, "BENCH_2.json") // gap: indices need not be dense
+	touch(t, dir, "BENCH_10.json")
+	touch(t, dir, "ACCURACY_99.json") // other prefix: ignored
+	touch(t, dir, "BENCH_x.json")     // malformed: ignored
+	entries, err := Entries(dir, "BENCH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 || entries[0].Index != 0 || entries[2].Index != 10 {
+		t.Fatalf("entries = %+v", entries)
+	}
+	if p, _ := NextPath(dir, "BENCH"); filepath.Base(p) != "BENCH_11.json" {
+		t.Fatalf("NextPath = %v", p)
+	}
+	if p, _ := LatestPath(dir, "BENCH"); filepath.Base(p) != "BENCH_10.json" {
+		t.Fatalf("LatestPath = %v", p)
+	}
+	if p, _ := NextPath(dir, "ACCURACY"); filepath.Base(p) != "ACCURACY_100.json" {
+		t.Fatalf("ACCURACY NextPath = %v", p)
+	}
+}
