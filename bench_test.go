@@ -365,6 +365,18 @@ func BenchmarkIdentifyBatch(b *testing.B) {
 	bench.IdentifyBatch(model, 64)(b)
 }
 
+// BenchmarkPcapIngest measures the passive pipeline end to end: pcap
+// decode, TCP flow reassembly, congestion-window reconstruction, and
+// classification of a synthetic two-server capture (MB/s of capture).
+func BenchmarkPcapIngest(b *testing.B) {
+	ctx := benchCtx(b)
+	model, err := ctx.Model()
+	if err != nil {
+		b.Fatal(err)
+	}
+	bench.PcapIngest(model)(b)
+}
+
 // BenchmarkServiceIdentify measures the HTTP service path of
 // internal/service end to end (JSON decode, registry lookup, cache,
 // pipeline, JSON encode): "hit" serves one request repeatedly from the

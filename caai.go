@@ -61,6 +61,7 @@ package caai
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"time"
 
@@ -69,6 +70,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/feature"
+	"repro/internal/flow"
 	"repro/internal/forest"
 	"repro/internal/ml"
 	"repro/internal/netem"
@@ -108,6 +110,14 @@ type (
 	// BatchOptions tunes IdentifyBatch (parallelism, probe config, seed,
 	// and an optional streaming OnResult callback).
 	BatchOptions = engine.BatchConfig[core.Identification]
+	// FlowIdentification is the classification of one captured flow pair
+	// (see Identifier.IdentifyCapture).
+	FlowIdentification = flow.FlowIdentification
+	// CaptureStats summarizes one ingested packet capture.
+	CaptureStats = flow.CaptureStats
+	// CaptureOptions tunes capture ingestion (tracker bounds,
+	// classification parallelism).
+	CaptureOptions = flow.IdentifyOptions
 )
 
 // Labels re-exported from the pipeline.
@@ -217,6 +227,17 @@ func (id *Identifier) IdentifyBatch(jobs []BatchJob, opts BatchOptions) []BatchR
 		}
 	}
 	return engine.IdentifyBatch[core.Identification](id.core, jobs, opts)
+}
+
+// IdentifyCapture runs the passive pipeline against a pcap or pcapng
+// stream: decode, per-flow TCP reassembly and congestion-window
+// reconstruction, environment pairing, and classification -- the
+// capture-ingestion counterpart of Identify for traffic that was recorded
+// rather than probed. The stream is decoded incrementally in bounded
+// memory. See cmd/caai-pcap for the command-line front end and the
+// service's POST /v1/pcap for the HTTP one.
+func (id *Identifier) IdentifyCapture(r io.Reader, opts CaptureOptions) ([]FlowIdentification, CaptureStats, error) {
+	return flow.IdentifyCapture(r, id.model, opts)
 }
 
 // SaveModel writes the trained model to path so later runs can LoadModel

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goldenModel is the committed forest the eval and flow golden fixtures
+// pin; loading it keeps CLI tests fast (no training).
+var goldenModel = filepath.Join("..", "..", "internal", "eval", "testdata", "golden", "model.json")
+
+// genCapture writes a small synthetic capture via the CLI's own -gen mode.
+func genCapture(t *testing.T, algorithms string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "capture.pcap")
+	var out bytes.Buffer
+	if err := run([]string{"-gen", algorithms, "-o", path, "-seed", "41"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "wrote pcap capture") {
+		t.Fatalf("gen output: %q", out.String())
+	}
+	return path
+}
+
+func TestIdentifyCaptureTable(t *testing.T) {
+	path := genCapture(t, "CUBIC2,RENO")
+	var out bytes.Buffer
+	if err := run([]string{"-model", goldenModel, path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "flows (") || !strings.Contains(text, "IDENTIFICATION") {
+		t.Fatalf("missing table header:\n%s", text)
+	}
+	// Two servers probed -> two result rows with confident labels.
+	if strings.Count(text, "confidence") != 2 {
+		t.Fatalf("want 2 identifications:\n%s", text)
+	}
+}
+
+func TestIdentifyCaptureJSON(t *testing.T) {
+	path := genCapture(t, "CUBIC2")
+	var out bytes.Buffer
+	if err := run([]string{"-model", goldenModel, "-json", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	// -json keeps stdout pure JSON (status lines are suppressed).
+	text := out.String()
+	var doc struct {
+		Stats struct {
+			Flows        int64 `json:"flows"`
+			Classifiable int64 `json:"classifiable"`
+		} `json:"stats"`
+		Results []struct {
+			Server  string  `json:"server"`
+			ClientA string  `json:"client_a"`
+			ClientB string  `json:"client_b"`
+			Label   string  `json:"label"`
+			Valid   bool    `json:"valid"`
+			RTTMs   float64 `json:"rtt_ms"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal([]byte(text), &doc); err != nil {
+		t.Fatalf("stdout is not pure JSON: %v\n%s", err, text)
+	}
+	// Both the environment A and B gatherings of CUBIC2 time out, so the
+	// capture holds two flows and both reconstruct to valid traces.
+	if doc.Stats.Flows != 2 || doc.Stats.Classifiable != 2 {
+		t.Fatalf("stats: %+v", doc.Stats)
+	}
+	if len(doc.Results) != 1 || !doc.Results[0].Valid || doc.Results[0].Label == "" {
+		t.Fatalf("results: %+v", doc.Results)
+	}
+	if doc.Results[0].ClientB == "" || doc.Results[0].RTTMs != 1000 {
+		t.Fatalf("pairing metadata: %+v", doc.Results[0])
+	}
+}
+
+func TestStdinInput(t *testing.T) {
+	path := genCapture(t, "RENO")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdin
+	r, w, _ := os.Pipe()
+	os.Stdin = r
+	t.Cleanup(func() { os.Stdin = old })
+	go func() {
+		w.Write(data)
+		w.Close()
+	}()
+	var out bytes.Buffer
+	if err := run([]string{"-model", goldenModel, "-"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "confidence") {
+		t.Fatalf("no identification from stdin:\n%s", out.String())
+	}
+}
+
+func TestArgumentErrors(t *testing.T) {
+	var out bytes.Buffer
+	cases := [][]string{
+		{},                               // no input
+		{"a.pcap", "b.pcap"},             // two inputs
+		{"-gen", "CUBIC2", "x.pcap"},     // gen with input
+		{"-gen", "NOPE", "-o", "x.pcap"}, // unknown algorithm
+		{"-model", "nope.json", "-classifier", "knn", "x"}, // exclusive flags
+	}
+	for _, args := range cases {
+		if err := run(args, &out); err == nil {
+			t.Fatalf("args %v: expected an error", args)
+		}
+	}
+	if err := run([]string{"-h"}, &out); err != nil {
+		t.Fatalf("-h: %v", err)
+	}
+	if !strings.Contains(out.String(), "-model") {
+		t.Fatal("usage not printed")
+	}
+}
+
+func TestMissingFile(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-model", goldenModel, "definitely-missing.pcap"}, &out); err == nil {
+		t.Fatal("missing capture file must error")
+	}
+}

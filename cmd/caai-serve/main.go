@@ -9,10 +9,12 @@
 //	caai-serve -train 12 -addr :9090                       # train in-process, then serve
 //
 // Endpoints: POST /v1/identify (synchronous), POST /v1/batch plus
-// GET /v1/jobs/{id} (asynchronous), POST /v1/models/reload (hot-swap
-// retrained model files without downtime), GET /v1/models, GET /healthz,
-// GET /metrics. See the README's "Serving identifications" section for
-// curl examples.
+// GET /v1/jobs/{id} (asynchronous), POST /v1/pcap (upload a packet
+// capture; per-flow identifications land in the async job payload),
+// POST /v1/models/reload (hot-swap retrained model files without
+// downtime), GET /v1/models, GET /healthz, GET /metrics. See the
+// README's "Serving identifications" and "Identifying from packet
+// captures" sections for curl examples.
 package main
 
 import (

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -15,8 +16,10 @@ import (
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/feature"
+	"repro/internal/flow"
 	"repro/internal/forest"
 	"repro/internal/netem"
+	"repro/internal/pcapgen"
 	"repro/internal/probe"
 	"repro/internal/service"
 	"repro/internal/websim"
@@ -35,6 +38,7 @@ func Suite(ctx *experiments.Context) ([]Case, error) {
 		{Name: "probe/gather_env", Bench: GatherSession()},
 		{Name: "feature/extract", Bench: FeatureExtraction()},
 		{Name: "engine/identify_batch", Bench: IdentifyBatch(model, 64)},
+		{Name: "pcap/ingest", Bench: PcapIngest(model)},
 		{Name: "service/identify_hit", Bench: ServiceIdentify(model, false)},
 		{Name: "service/identify_miss", Bench: ServiceIdentify(model, true)},
 	}
@@ -150,6 +154,39 @@ func IdentifyBatch(model classify.Classifier, jobs int) func(*testing.B) {
 		}
 		b.ReportMetric(float64(valid)/float64(jobs)*100, "valid-%")
 		b.ReportMetric(float64(jobs), "jobs/op")
+	}
+}
+
+// PcapIngest measures the passive pipeline end to end -- pcap decode, TCP
+// flow reassembly, congestion-window reconstruction, pairing, and
+// classification -- over a pregenerated two-server synthetic capture.
+// b.SetBytes makes `go test -bench` report MB/s of capture throughput;
+// the suite records ns/op and allocs/op against the budget.
+func PcapIngest(model classify.Classifier) func(*testing.B) {
+	return func(b *testing.B) {
+		var buf bytes.Buffer
+		if _, err := pcapgen.Generate(&buf, []pcapgen.ServerSpec{
+			{Algorithm: "CUBIC2", Seed: 51},
+			{Algorithm: "RENO", Seed: 52},
+		}, pcapgen.Options{}); err != nil {
+			b.Fatal(err)
+		}
+		data := buf.Bytes()
+		b.SetBytes(int64(len(data)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		var pairs int
+		for i := 0; i < b.N; i++ {
+			out, _, err := flow.IdentifyCapture(bytes.NewReader(data), model, flow.IdentifyOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			pairs = len(out)
+		}
+		if pairs != 2 {
+			b.Fatalf("capture yielded %d identifications, want 2", pairs)
+		}
+		b.ReportMetric(float64(len(data)), "capture-bytes/op")
 	}
 }
 

@@ -1,0 +1,450 @@
+// Package flow reconstructs congestion window traces from passively
+// captured TCP traffic: it tracks per-4-tuple flows with bounded memory,
+// estimates the path RTT (handshake, then TCP timestamps), buckets each
+// direction's data segments into RTT rounds, detects the
+// retransmission-after-silence signature of a retransmission timeout, and
+// emits the per-round delivered-window series as trace.Trace values --
+// the same shape the active prober gathers -- so the existing feature /
+// classifier pipeline consumes captured traffic unchanged.
+//
+// Reconstruction is exact on clean paths (see the round-trip tests
+// against internal/pcapgen) and heuristic under impairment; DESIGN.md §7
+// documents the failure modes (mid-stream captures without a handshake
+// mis-bucket the first rounds, packet loss between server and capture
+// point inflates windows, fast-retransmit storms can read as timeouts).
+package flow
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/pcap"
+	"repro/internal/trace"
+)
+
+// Config bounds a Tracker. The zero value selects the defaults.
+type Config struct {
+	// MaxFlows bounds concurrently tracked flows; beyond it the
+	// least-recently-active flow is emitted early (default 4096).
+	MaxFlows int
+	// MaxRounds bounds recorded rounds per flow direction; beyond it the
+	// flow keeps counting packets but stops recording windows and is
+	// marked truncated (default 256 -- a full probe gathering needs ~60).
+	MaxRounds int
+	// MaxEmitted bounds the flows a single capture may emit; beyond it
+	// the oldest-evicted flows are dropped and counted (default 65536).
+	MaxEmitted int
+	// DefaultRTT seeds round bucketing when a flow has neither a
+	// handshake nor usable TCP timestamps (default 200ms).
+	DefaultRTT time.Duration
+	// MinRoundGap floors the round-boundary gap so sub-millisecond RTT
+	// estimates cannot split bursts (default 2ms).
+	MinRoundGap time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxFlows <= 0 {
+		c.MaxFlows = 4096
+	}
+	if c.MaxRounds <= 0 {
+		c.MaxRounds = 256
+	}
+	if c.MaxEmitted <= 0 {
+		c.MaxEmitted = 65536
+	}
+	if c.DefaultRTT <= 0 {
+		c.DefaultRTT = 200 * time.Millisecond
+	}
+	if c.MinRoundGap <= 0 {
+		c.MinRoundGap = 2 * time.Millisecond
+	}
+	return c
+}
+
+// endpoint is one side of a connection.
+type endpoint struct {
+	ip   [16]byte
+	port uint16
+}
+
+func (e endpoint) String() string {
+	var p pcap.Packet
+	p.SrcIP, p.SrcPort = e.ip, e.port
+	return p.Src()
+}
+
+// flowKey is the direction-normalized 4-tuple.
+type flowKey struct {
+	a, b endpoint
+}
+
+// keyOf normalizes the packet's endpoints; dir reports which key side the
+// packet came from (0 = a, 1 = b).
+func keyOf(p *pcap.Packet) (flowKey, int) {
+	src := endpoint{p.SrcIP, p.SrcPort}
+	dst := endpoint{p.DstIP, p.DstPort}
+	if less(src, dst) {
+		return flowKey{src, dst}, 0
+	}
+	return flowKey{dst, src}, 1
+}
+
+func less(x, y endpoint) bool {
+	for i := range x.ip {
+		if x.ip[i] != y.ip[i] {
+			return x.ip[i] < y.ip[i]
+		}
+	}
+	return x.port < y.port
+}
+
+// seqLT is the wraparound-safe sequence comparison.
+func seqLT(a, b uint32) bool { return int32(a-b) < 0 }
+
+// round is one reconstructed RTT round of a direction.
+type round struct {
+	start time.Time
+	// newBytes is how far the direction's delivery high-water mark
+	// advanced during the round: the passive equivalent of the prober's
+	// per-round window measurement w = maxSeq(r) - maxSeq(r-1).
+	newBytes int64
+	packets  int
+	retx     int
+	// retxStart marks a round whose first segment was a retransmission:
+	// after a round boundary's worth of silence this is the signature of
+	// a retransmission timeout.
+	retxStart bool
+}
+
+// dirState tracks one direction of a flow.
+type dirState struct {
+	packets   int64
+	dataBytes int64 // payload bytes seen (including retransmissions)
+	retx      int64
+
+	haveSeq bool
+	highSeq uint32 // delivery high-water mark (max seq+len seen)
+
+	mssOpt    uint16 // MSS option from this direction's SYN
+	maxSegLen int
+
+	rounds       []round
+	cur          round
+	curOpen      bool
+	lastData     time.Time
+	timeoutRound int // index into rounds of the first post-timeout round, -1
+	truncated    bool
+
+	// TCP timestamp state for RTT sampling: the newest TSVal this
+	// direction sent and when it was first seen.
+	tsVal     uint32
+	tsValAt   time.Time
+	tsValSeen bool
+}
+
+// state is one tracked flow. Flows form an LRU list for bounded-memory
+// eviction.
+type state struct {
+	key   flowKey
+	first time.Time
+	last  time.Time
+
+	// Handshake RTT estimation.
+	synDir    int // which key side sent the SYN (the client)
+	sawSYN    bool
+	synAt     time.Time
+	sawSynAck bool
+	hsRTT     time.Duration
+	tsRTT     time.Duration // minimum timestamp-echo RTT sample
+	sawFIN    bool
+	sawRST    bool
+
+	dirs [2]dirState
+
+	prev, next *state // LRU links (most recent at head)
+}
+
+// rtt returns the flow's best RTT estimate (0 when unknown).
+func (s *state) rtt() time.Duration {
+	if s.hsRTT > 0 {
+		return s.hsRTT
+	}
+	return s.tsRTT
+}
+
+// Stats counts tracker-level events for ingest health reporting.
+type Stats struct {
+	// Flows is every distinct 4-tuple seen.
+	Flows int64
+	// Evicted counts flows emitted early because MaxFlows was exceeded.
+	Evicted int64
+	// Dropped counts flows discarded entirely because MaxEmitted was
+	// exceeded.
+	Dropped int64
+	// Truncated counts flows whose round recording hit MaxRounds.
+	Truncated int64
+}
+
+// Tracker reassembles flows from a packet stream. Feed packets with
+// Observe, then call Finish for the reconstructed flows. Memory is
+// bounded by MaxFlows live flows, MaxRounds rounds each, and MaxEmitted
+// finished flows, regardless of capture size. Not safe for concurrent
+// use.
+type Tracker struct {
+	cfg   Config
+	flows map[flowKey]*state
+	head  *state // most recently active
+	tail  *state
+	done  []*FlowTrace
+	stats Stats
+	rec   trace.Recorder // reused build buffer; emitted traces are Clones
+}
+
+// NewTracker returns a tracker with the given bounds.
+func NewTracker(cfg Config) *Tracker {
+	return &Tracker{cfg: cfg.withDefaults(), flows: map[flowKey]*state{}}
+}
+
+// Stats returns the running tracker counters.
+func (t *Tracker) Stats() Stats { return t.stats }
+
+// Observe feeds one decoded TCP segment.
+func (t *Tracker) Observe(p *pcap.Packet) {
+	key, dir := keyOf(p)
+	s := t.flows[key]
+	if s == nil {
+		t.stats.Flows++
+		s = &state{key: key, first: p.Time, synDir: -1}
+		s.dirs[0].timeoutRound = -1
+		s.dirs[1].timeoutRound = -1
+		t.flows[key] = s
+		t.lruPush(s)
+		if len(t.flows) > t.cfg.MaxFlows {
+			t.evictOldest()
+		}
+	} else {
+		t.lruTouch(s)
+	}
+	s.last = p.Time
+	t.observeFlow(s, p, dir)
+}
+
+// observeFlow updates one flow's state with a segment from key side dir.
+func (t *Tracker) observeFlow(s *state, p *pcap.Packet, dir int) {
+	d := &s.dirs[dir]
+	d.packets++
+	if p.RST() {
+		s.sawRST = true
+	}
+	if p.FIN() {
+		s.sawFIN = true
+	}
+
+	// Handshake tracking for the RTT estimate and client identification.
+	switch {
+	case p.SYN() && !p.ACK():
+		if !s.sawSYN {
+			s.sawSYN = true
+			s.synDir = dir
+			s.synAt = p.Time
+		}
+	case p.SYN() && p.ACK():
+		if s.sawSYN && dir != s.synDir {
+			s.sawSynAck = true
+		}
+	case p.ACK() && s.sawSynAck && s.hsRTT == 0 && dir == s.synDir:
+		if rtt := p.Time.Sub(s.synAt); rtt > 0 {
+			s.hsRTT = rtt
+		}
+	}
+	if p.SYN() && p.Opt.HasMSS {
+		d.mssOpt = p.Opt.MSS
+	}
+
+	// Timestamp-echo RTT samples: this segment echoes the peer's newest
+	// TSVal, so the elapsed time since the peer first sent it is one RTT.
+	peer := &s.dirs[1-dir]
+	if p.Opt.HasTS {
+		if p.Opt.TSEcr != 0 && peer.tsValSeen && p.Opt.TSEcr == peer.tsVal {
+			if sample := p.Time.Sub(peer.tsValAt); sample > 0 && (s.tsRTT == 0 || sample < s.tsRTT) {
+				s.tsRTT = sample
+			}
+		}
+		if !d.tsValSeen || p.Opt.TSVal != d.tsVal {
+			d.tsVal = p.Opt.TSVal
+			d.tsValAt = p.Time
+			d.tsValSeen = true
+		}
+	}
+
+	// Sequence tracking: only data segments advance the high-water mark
+	// and the round series.
+	if p.PayloadLen <= 0 {
+		if p.SYN() && !d.haveSeq {
+			d.haveSeq = true
+			d.highSeq = p.Seq + 1
+		}
+		return
+	}
+	if p.PayloadLen > d.maxSegLen {
+		d.maxSegLen = p.PayloadLen
+	}
+	d.dataBytes += int64(p.PayloadLen)
+	end := p.Seq + uint32(p.PayloadLen)
+	if !d.haveSeq {
+		d.haveSeq = true
+		d.highSeq = p.Seq
+	}
+	retx := seqLT(p.Seq, d.highSeq)
+	if retx {
+		d.retx++
+	}
+	var advance int64
+	if seqLT(d.highSeq, end) {
+		advance = int64(end - d.highSeq)
+		d.highSeq = end
+	}
+	t.bucket(s, d, p.Time, advance, retx)
+	d.lastData = p.Time
+}
+
+// bucket assigns one data segment to an RTT round, opening a new round
+// after a round boundary's worth of silence.
+func (t *Tracker) bucket(s *state, d *dirState, at time.Time, advance int64, retx bool) {
+	if d.curOpen && at.Sub(d.lastData) > t.roundGap(s) {
+		t.closeRound(d)
+	}
+	if !d.curOpen {
+		d.curOpen = true
+		d.cur = round{start: at, retxStart: retx}
+		// A round that opens with a retransmission, after the silence
+		// that the round boundary implies, is the timeout signature. Only
+		// the first such round splits the trace.
+		if retx && d.timeoutRound < 0 && (len(d.rounds) > 0 || d.truncated) {
+			d.timeoutRound = len(d.rounds)
+		}
+	}
+	d.cur.packets++
+	d.cur.newBytes += advance
+	if retx {
+		d.cur.retx++
+	}
+}
+
+// closeRound archives the open round, subject to the MaxRounds bound.
+func (t *Tracker) closeRound(d *dirState) {
+	if !d.curOpen {
+		return
+	}
+	d.curOpen = false
+	if len(d.rounds) >= t.cfg.MaxRounds {
+		if !d.truncated {
+			d.truncated = true
+			t.stats.Truncated++
+		}
+		return
+	}
+	d.rounds = append(d.rounds, d.cur)
+}
+
+// roundGap is the silence that separates two RTT rounds: half the flow's
+// RTT estimate, floored by MinRoundGap.
+func (t *Tracker) roundGap(s *state) time.Duration {
+	rtt := s.rtt()
+	if rtt <= 0 {
+		rtt = t.cfg.DefaultRTT
+	}
+	gap := rtt / 2
+	if gap < t.cfg.MinRoundGap {
+		gap = t.cfg.MinRoundGap
+	}
+	return gap
+}
+
+// Finish emits every remaining flow, ordered by first activity, and
+// resets the tracker. The returned traces are independent copies.
+func (t *Tracker) Finish() []*FlowTrace {
+	// Emit in LRU order (oldest first), then restore capture order by
+	// first-packet time via the done slice append order... flows may
+	// interleave, so sort explicitly at the end.
+	for t.tail != nil {
+		t.emit(t.tail)
+	}
+	out := t.done
+	t.done = nil
+	t.flows = map[flowKey]*state{}
+	sortFlows(out)
+	return out
+}
+
+// evictOldest emits the least-recently-active flow to enforce MaxFlows.
+func (t *Tracker) evictOldest() {
+	if t.tail == nil {
+		return
+	}
+	t.stats.Evicted++
+	t.emit(t.tail)
+}
+
+// emit finalizes one flow into a FlowTrace and removes it from the
+// tracker.
+func (t *Tracker) emit(s *state) {
+	t.lruRemove(s)
+	delete(t.flows, s.key)
+	if len(t.done) >= t.cfg.MaxEmitted {
+		t.stats.Dropped++
+		return
+	}
+	t.done = append(t.done, t.finalize(s))
+}
+
+// sortFlows orders flows by first activity, breaking ties by endpoint
+// strings so output is deterministic.
+func sortFlows(fs []*FlowTrace) {
+	sort.SliceStable(fs, func(i, j int) bool { return flowLess(fs[i], fs[j]) })
+}
+
+func flowLess(x, y *FlowTrace) bool {
+	if !x.Start.Equal(y.Start) {
+		return x.Start.Before(y.Start)
+	}
+	if x.Server != y.Server {
+		return x.Server < y.Server
+	}
+	return x.Client < y.Client
+}
+
+// lruPush inserts s at the head (most recent).
+func (t *Tracker) lruPush(s *state) {
+	s.prev = nil
+	s.next = t.head
+	if t.head != nil {
+		t.head.prev = s
+	}
+	t.head = s
+	if t.tail == nil {
+		t.tail = s
+	}
+}
+
+func (t *Tracker) lruTouch(s *state) {
+	if t.head == s {
+		return
+	}
+	t.lruRemove(s)
+	t.lruPush(s)
+}
+
+func (t *Tracker) lruRemove(s *state) {
+	if s.prev != nil {
+		s.prev.next = s.next
+	} else if t.head == s {
+		t.head = s.next
+	}
+	if s.next != nil {
+		s.next.prev = s.prev
+	} else if t.tail == s {
+		t.tail = s.prev
+	}
+	s.prev, s.next = nil, nil
+}

@@ -1,0 +1,236 @@
+package flow
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/pcap"
+)
+
+// pkt builds a decoded TCP segment at ms milliseconds.
+func pkt(ms int64, srcLast byte, srcPort uint16, dstLast byte, dstPort uint16, seq, ack uint32, flags uint8, payload int) *pcap.Packet {
+	p := &pcap.Packet{
+		Time:       time.Unix(1700000000, 0).Add(time.Duration(ms) * time.Millisecond),
+		SrcPort:    srcPort,
+		DstPort:    dstPort,
+		Seq:        seq,
+		Ack:        ack,
+		Flags:      flags,
+		PayloadLen: payload,
+	}
+	copy(p.SrcIP[:], v4(srcLast))
+	copy(p.DstIP[:], v4(dstLast))
+	return p
+}
+
+func v4(last byte) []byte {
+	return []byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 10, 0, 0, last}
+}
+
+func TestDirectionAndRounds(t *testing.T) {
+	tr := NewTracker(Config{DefaultRTT: 100 * time.Millisecond})
+	const mss = 100
+	// Client 10.0.0.1:4000 -> server 10.0.0.2:80. No handshake: the
+	// DefaultRTT drives round bucketing (gap > 50ms splits rounds).
+	seq := uint32(1000)
+	send := func(ms int64, segs int) {
+		for i := 0; i < segs; i++ {
+			tr.Observe(pkt(ms, 2, 80, 1, 4000, seq, 1, pcap.FlagACK, mss))
+			seq += mss
+		}
+	}
+	send(0, 2)                                                    // round 1: w=2
+	send(100, 4)                                                  // round 2: w=4
+	send(200, 8)                                                  // round 3: w=8
+	tr.Observe(pkt(300, 1, 4000, 2, 80, 1, seq, pcap.FlagACK, 0)) // pure ack, ignored for rounds
+
+	flows := tr.Finish()
+	if len(flows) != 1 {
+		t.Fatalf("flows = %d", len(flows))
+	}
+	f := flows[0]
+	if f.Server != "10.0.0.2:80" || f.Client != "10.0.0.1:4000" || f.ClientIP != "10.0.0.1" {
+		t.Fatalf("endpoints: server %s client %s (%s)", f.Server, f.Client, f.ClientIP)
+	}
+	if f.Trace == nil || f.Trace.TimedOut {
+		t.Fatalf("trace: %+v", f.Trace)
+	}
+	if want := []int{2, 4, 8}; len(f.Trace.Pre) != 3 || f.Trace.Pre[0] != 2 || f.Trace.Pre[1] != 4 || f.Trace.Pre[2] != 8 {
+		t.Fatalf("pre = %v, want %v", f.Trace.Pre, want)
+	}
+	if f.MSS != mss {
+		t.Fatalf("mss = %d (from max segment), want %d", f.MSS, mss)
+	}
+}
+
+func TestTimeoutSplitsPrePost(t *testing.T) {
+	tr := NewTracker(Config{DefaultRTT: 100 * time.Millisecond})
+	const mss = 100
+	base := uint32(1000)
+	at := func(ms int64, seq uint32, n int) {
+		for i := 0; i < n; i++ {
+			tr.Observe(pkt(ms, 2, 80, 1, 4000, seq+uint32(i)*mss, 1, pcap.FlagACK, mss))
+		}
+	}
+	at(0, base, 2)       // pre round 1: w=2
+	at(100, base+200, 4) // pre round 2: w=4
+	// Silence, then a retransmission of the last round's data: timeout.
+	at(1300, base+200, 1) // post round 1: retransmit, w=0
+	at(1400, base+600, 8) // post round 2: new data, w=8
+	flows := tr.Finish()
+	f := flows[0]
+	if f.Trace == nil || !f.Trace.TimedOut {
+		t.Fatalf("timeout not detected: %+v", f.Trace)
+	}
+	if len(f.Trace.Pre) != 2 || len(f.Trace.Post) != 2 {
+		t.Fatalf("pre=%v post=%v", f.Trace.Pre, f.Trace.Post)
+	}
+	if f.Trace.Post[0] != 0 || f.Trace.Post[1] != 8 {
+		t.Fatalf("post = %v, want [0 8]", f.Trace.Post)
+	}
+	if f.Retransmits != 1 {
+		t.Fatalf("retransmits = %d", f.Retransmits)
+	}
+}
+
+func TestHandshakeRTTDrivesBucketing(t *testing.T) {
+	tr := NewTracker(Config{})
+	const mss = 100
+	// Handshake: SYN at 0, SYN-ACK at 0, client ACK at 1000ms -> RTT 1s.
+	syn := pkt(0, 1, 4000, 2, 80, 99, 0, pcap.FlagSYN, 0)
+	syn.Opt = pcap.TCPOptions{HasMSS: true, MSS: mss}
+	tr.Observe(syn)
+	tr.Observe(pkt(0, 2, 80, 1, 4000, 999, 100, pcap.FlagSYN|pcap.FlagACK, 0))
+	tr.Observe(pkt(1000, 1, 4000, 2, 80, 100, 1000, pcap.FlagACK, 0))
+	// Two bursts 400ms apart: under the 1s RTT estimate (gap threshold
+	// 500ms) they are ONE round; with the 200ms default they would split.
+	tr.Observe(pkt(1100, 2, 80, 1, 4000, 1000, 101, pcap.FlagACK, mss))
+	tr.Observe(pkt(1500, 2, 80, 1, 4000, 1000+mss, 101, pcap.FlagACK, mss))
+	// A true round boundary.
+	tr.Observe(pkt(2600, 2, 80, 1, 4000, 1000+2*mss, 101, pcap.FlagACK, mss))
+	flows := tr.Finish()
+	f := flows[0]
+	if f.RTT != time.Second {
+		t.Fatalf("rtt = %s, want 1s", f.RTT)
+	}
+	if !f.SawSYN {
+		t.Fatal("handshake not recorded")
+	}
+	if len(f.Trace.Pre) != 2 || f.Trace.Pre[0] != 2 || f.Trace.Pre[1] != 1 {
+		t.Fatalf("pre = %v, want [2 1]", f.Trace.Pre)
+	}
+}
+
+func TestTimestampRTTFallback(t *testing.T) {
+	tr := NewTracker(Config{})
+	const mss = 100
+	// Mid-stream capture: no handshake. Data at t=0 carries TSVal 7;
+	// the ack echoing it arrives 80ms later -> RTT sample 80ms.
+	d := pkt(0, 2, 80, 1, 4000, 5000, 1, pcap.FlagACK, mss)
+	d.Opt = pcap.TCPOptions{HasTS: true, TSVal: 7, TSEcr: 3}
+	tr.Observe(d)
+	a := pkt(80, 1, 4000, 2, 80, 1, 5000+mss, pcap.FlagACK, 0)
+	a.Opt = pcap.TCPOptions{HasTS: true, TSVal: 4, TSEcr: 7}
+	tr.Observe(a)
+	flows := tr.Finish()
+	if got := flows[0].RTT; got != 80*time.Millisecond {
+		t.Fatalf("timestamp rtt = %s, want 80ms", got)
+	}
+}
+
+func TestSequenceWraparound(t *testing.T) {
+	tr := NewTracker(Config{DefaultRTT: 100 * time.Millisecond})
+	const mss = 100
+	start := uint32(0xffffff38) // 200 bytes below the wrap point
+	tr.Observe(pkt(0, 2, 80, 1, 4000, start, 1, pcap.FlagACK, mss))
+	tr.Observe(pkt(1, 2, 80, 1, 4000, start+mss, 1, pcap.FlagACK, mss)) // ends exactly at 0
+	tr.Observe(pkt(100, 2, 80, 1, 4000, 0, 1, pcap.FlagACK, mss))       // wrapped
+	tr.Observe(pkt(101, 2, 80, 1, 4000, mss, 1, pcap.FlagACK, mss))
+	flows := tr.Finish()
+	f := flows[0]
+	if len(f.Trace.Pre) != 2 || f.Trace.Pre[0] != 2 || f.Trace.Pre[1] != 2 {
+		t.Fatalf("pre = %v, want [2 2] across the wrap", f.Trace.Pre)
+	}
+	if f.Retransmits != 0 {
+		t.Fatalf("wrap misread as retransmission: %d", f.Retransmits)
+	}
+}
+
+func TestMaxFlowsEviction(t *testing.T) {
+	tr := NewTracker(Config{MaxFlows: 4})
+	for i := 0; i < 10; i++ {
+		tr.Observe(pkt(int64(i), 2, 80, 1, uint16(4000+i), 1, 1, pcap.FlagACK, 10))
+	}
+	if got := tr.Stats().Evicted; got != 6 {
+		t.Fatalf("evicted = %d, want 6", got)
+	}
+	flows := tr.Finish()
+	if len(flows) != 10 {
+		t.Fatalf("flows = %d, want 10 (evicted flows still emitted)", len(flows))
+	}
+	if tr.Stats().Flows != 10 {
+		t.Fatalf("flows seen = %d", tr.Stats().Flows)
+	}
+}
+
+func TestMaxRoundsTruncation(t *testing.T) {
+	tr := NewTracker(Config{MaxRounds: 3, DefaultRTT: 10 * time.Millisecond})
+	seq := uint32(0)
+	for r := 0; r < 8; r++ {
+		tr.Observe(pkt(int64(r*100), 2, 80, 1, 4000, seq, 1, pcap.FlagACK, 100))
+		seq += 100
+	}
+	flows := tr.Finish()
+	f := flows[0]
+	if !f.Truncated || tr.Stats().Truncated != 1 {
+		t.Fatalf("truncation not reported: %+v stats %+v", f, tr.Stats())
+	}
+	if len(f.Trace.Pre) != 3 {
+		t.Fatalf("pre = %v, want 3 rounds", f.Trace.Pre)
+	}
+}
+
+func TestMaxEmittedDropsFlows(t *testing.T) {
+	tr := NewTracker(Config{MaxFlows: 2, MaxEmitted: 3})
+	for i := 0; i < 8; i++ {
+		tr.Observe(pkt(int64(i), 2, 80, 1, uint16(4000+i), 1, 1, pcap.FlagACK, 10))
+	}
+	flows := tr.Finish()
+	if len(flows) != 3 {
+		t.Fatalf("emitted %d flows, want 3", len(flows))
+	}
+	if tr.Stats().Dropped != 5 {
+		t.Fatalf("dropped = %d, want 5", tr.Stats().Dropped)
+	}
+}
+
+// TestEmittedTracesAreIndependent pins the Clone contract: the tracker
+// reuses one recorder, so emitted traces must not share storage.
+func TestEmittedTracesAreIndependent(t *testing.T) {
+	tr := NewTracker(Config{DefaultRTT: 100 * time.Millisecond})
+	for port := uint16(4000); port < 4002; port++ {
+		seq := uint32(1000)
+		n := int(port-4000)*3 + 2
+		for i := 0; i < n; i++ {
+			tr.Observe(pkt(int64(port-4000), 2, 80, 1, port, seq, 1, pcap.FlagACK, 100))
+			seq += 100
+		}
+	}
+	flows := tr.Finish()
+	if len(flows) != 2 {
+		t.Fatalf("flows = %d", len(flows))
+	}
+	if flows[0].Trace.Pre[0] == flows[1].Trace.Pre[0] {
+		t.Fatalf("distinct flows decoded identically: %v vs %v", flows[0].Trace.Pre, flows[1].Trace.Pre)
+	}
+}
+
+func TestPairUnpairedInvalid(t *testing.T) {
+	// A lone no-timeout flow pairs with nothing and classifies invalid.
+	tr := NewTracker(Config{DefaultRTT: 100 * time.Millisecond})
+	tr.Observe(pkt(0, 2, 80, 1, 4000, 0, 1, pcap.FlagACK, 100))
+	pairs := Pair(tr.Finish())
+	if len(pairs) != 1 || pairs[0].B != nil {
+		t.Fatalf("pairs = %+v", pairs)
+	}
+}

@@ -1,0 +1,85 @@
+package flow
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/pcap"
+	"repro/internal/pcapgen"
+	"repro/internal/probe"
+)
+
+// FuzzReassemble drives the decoder and the flow tracker end to end with
+// arbitrary bytes under tight memory bounds: garbage must produce errors
+// or empty results -- never a panic, a hang, or memory beyond the
+// configured flow/round caps.
+func FuzzReassemble(f *testing.F) {
+	var seed bytes.Buffer
+	if _, err := pcapgen.Generate(&seed, []pcapgen.ServerSpec{{Algorithm: "RENO", Seed: 3}},
+		pcapgen.Options{Probe: probe.Config{WmaxLadder: []int{64}, MaxPreRounds: 16}}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add(seed.Bytes()[:80])
+	f.Add([]byte{})
+
+	cfg := Config{MaxFlows: 16, MaxRounds: 32, MaxEmitted: 64, DefaultRTT: 50 * time.Millisecond}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		flows, stats, err := Reassemble(bytes.NewReader(data), cfg)
+		if err != nil {
+			_ = err.Error()
+		}
+		if len(flows) > cfg.MaxEmitted {
+			t.Fatalf("emitted %d flows past the %d bound", len(flows), cfg.MaxEmitted)
+		}
+		for _, fl := range flows {
+			if fl.Trace == nil {
+				continue
+			}
+			if len(fl.Trace.Pre)+len(fl.Trace.Post) > cfg.MaxRounds {
+				t.Fatalf("flow recorded %d rounds past the %d bound",
+					len(fl.Trace.Pre)+len(fl.Trace.Post), cfg.MaxRounds)
+			}
+		}
+		if stats.Classifiable > stats.Flows {
+			t.Fatalf("inconsistent stats %+v", stats)
+		}
+		// Pairing must hold up on whatever came out of the tracker.
+		if pairs := Pair(flows); len(pairs) > len(flows) {
+			t.Fatalf("%d pairs from %d flows", len(pairs), len(flows))
+		}
+	})
+}
+
+// FuzzDecodeStats cross-checks that the decoder's counters account for
+// every record it read, whatever the input.
+func FuzzDecodeStats(f *testing.F) {
+	var buf bytes.Buffer
+	w, _ := pcap.NewWriter(&buf, pcap.LinkEthernet, 96)
+	frame := pcap.AppendFrame(nil, &pcap.FrameSpec{
+		Src:   netip.MustParseAddrPort("10.0.0.1:40000"),
+		Dst:   netip.MustParseAddrPort("10.0.0.2:80"),
+		Flags: pcap.FlagSYN,
+	})
+	_ = w.WritePacket(time.Unix(0, 0), len(frame), frame)
+	f.Add(buf.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := pcap.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var pkt pcap.Packet
+		for {
+			if err := r.Next(&pkt); err != nil {
+				break
+			}
+		}
+		s := r.Stats()
+		if s.TCP+s.Skipped+s.Truncated != s.Packets {
+			t.Fatalf("stats do not add up: %+v", s)
+		}
+	})
+}

@@ -1,0 +1,99 @@
+package pcap
+
+import "net/netip"
+
+// FrameSpec describes one synthetic TCP segment for AppendFrame: the
+// inverse of the decoder, used by internal/pcapgen and the decoder's own
+// round-trip tests.
+type FrameSpec struct {
+	// Src and Dst are the endpoints; IPv4 addresses yield an IPv4 frame.
+	Src netip.AddrPort
+	Dst netip.AddrPort
+	Seq uint32
+	Ack uint32
+	// Flags is the TCP flag byte.
+	Flags  uint8
+	Window uint16
+	// PayloadLen is the data length; the payload bytes are zeros (capture
+	// writers may truncate them away via snaplen anyway).
+	PayloadLen int
+	// Opt selects the TCP options to encode (MSS, window scale, SACK
+	// permitted, timestamps; SACK blocks).
+	Opt TCPOptions
+}
+
+// AppendFrame appends the Ethernet/IP/TCP frame described by spec to dst
+// and returns the grown slice.
+func AppendFrame(dst []byte, spec *FrameSpec) []byte {
+	opts := appendTCPOptions(nil, &spec.Opt)
+	tcpLen := 20 + len(opts)
+	v6 := spec.Src.Addr().Is6() && !spec.Src.Addr().Is4In6()
+
+	// Ethernet header.
+	dst = append(dst,
+		0x02, 0, 0, 0, 0, 2, // dst MAC
+		0x02, 0, 0, 0, 0, 1, // src MAC
+	)
+	if v6 {
+		dst = append(dst, 0x86, 0xdd)
+		ipPayload := tcpLen + spec.PayloadLen
+		dst = append(dst, 0x60, 0, 0, 0, byte(ipPayload>>8), byte(ipPayload), 6, 64)
+		src16 := spec.Src.Addr().As16()
+		dst16 := spec.Dst.Addr().As16()
+		dst = append(dst, src16[:]...)
+		dst = append(dst, dst16[:]...)
+	} else {
+		dst = append(dst, 0x08, 0x00)
+		total := 20 + tcpLen + spec.PayloadLen
+		dst = append(dst, 0x45, 0, byte(total>>8), byte(total), 0, 0, 0x40, 0, 64, 6, 0, 0)
+		src4 := spec.Src.Addr().Unmap().As4()
+		dst4 := spec.Dst.Addr().Unmap().As4()
+		dst = append(dst, src4[:]...)
+		dst = append(dst, dst4[:]...)
+	}
+
+	// TCP header.
+	dst = append(dst,
+		byte(spec.Src.Port()>>8), byte(spec.Src.Port()),
+		byte(spec.Dst.Port()>>8), byte(spec.Dst.Port()),
+		byte(spec.Seq>>24), byte(spec.Seq>>16), byte(spec.Seq>>8), byte(spec.Seq),
+		byte(spec.Ack>>24), byte(spec.Ack>>16), byte(spec.Ack>>8), byte(spec.Ack),
+		byte(tcpLen/4)<<4, spec.Flags,
+		byte(spec.Window>>8), byte(spec.Window),
+		0, 0, 0, 0, // checksum, urgent pointer
+	)
+	dst = append(dst, opts...)
+	for i := 0; i < spec.PayloadLen; i++ {
+		dst = append(dst, 0)
+	}
+	return dst
+}
+
+// appendTCPOptions encodes the selected options, NOP-padded to a 4-byte
+// multiple.
+func appendTCPOptions(dst []byte, o *TCPOptions) []byte {
+	if o.HasMSS {
+		dst = append(dst, 2, 4, byte(o.MSS>>8), byte(o.MSS))
+	}
+	if o.SackPermitted {
+		dst = append(dst, 4, 2)
+	}
+	if o.HasTS {
+		dst = append(dst, 8, 10,
+			byte(o.TSVal>>24), byte(o.TSVal>>16), byte(o.TSVal>>8), byte(o.TSVal),
+			byte(o.TSEcr>>24), byte(o.TSEcr>>16), byte(o.TSEcr>>8), byte(o.TSEcr))
+	}
+	if o.HasWScale {
+		dst = append(dst, 3, 3, o.WScale)
+	}
+	for i := 0; i < o.SackCount && i < maxSackBlocks; i++ {
+		b := o.Sack[i]
+		dst = append(dst, 5, 10,
+			byte(b.Start>>24), byte(b.Start>>16), byte(b.Start>>8), byte(b.Start),
+			byte(b.End>>24), byte(b.End>>16), byte(b.End>>8), byte(b.End))
+	}
+	for len(dst)%4 != 0 {
+		dst = append(dst, 1) // NOP
+	}
+	return dst
+}

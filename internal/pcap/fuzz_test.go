@@ -1,0 +1,78 @@
+package pcap
+
+import (
+	"bytes"
+	"io"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+// fuzzSeedCapture builds a small valid capture in the given format for the
+// fuzz corpus.
+func fuzzSeedCapture(format string) []byte {
+	src := netip.MustParseAddrPort("10.0.0.1:40000")
+	dst := netip.MustParseAddrPort("10.0.0.2:80")
+	var buf bytes.Buffer
+	w, err := NewPacketWriter(&buf, format, LinkEthernet, 96)
+	if err != nil {
+		panic(err)
+	}
+	ts := time.Unix(1700000000, 0).UTC()
+	frames := []*FrameSpec{
+		{Src: src, Dst: dst, Seq: 100, Flags: FlagSYN,
+			Opt: TCPOptions{MSS: 536, HasMSS: true, SackPermitted: true, HasTS: true, TSVal: 1}},
+		{Src: dst, Dst: src, Seq: 9000, Ack: 101, Flags: FlagSYN | FlagACK,
+			Opt: TCPOptions{MSS: 536, HasMSS: true}},
+		{Src: src, Dst: dst, Seq: 101, Ack: 9001, Flags: FlagACK},
+		{Src: dst, Dst: src, Seq: 9001, Ack: 101, Flags: FlagACK, PayloadLen: 536,
+			Opt: TCPOptions{HasTS: true, TSVal: 2, TSEcr: 1}},
+	}
+	for i, f := range frames {
+		frame := AppendFrame(nil, f)
+		if err := w.WritePacket(ts.Add(time.Duration(i)*time.Millisecond), len(frame), frame); err != nil {
+			panic(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// FuzzDecode hammers the full decoder with arbitrary bytes: it must
+// return errors on garbage -- never panic, never hang, and never allocate
+// beyond the MaxSnapLen-scale buffers regardless of what length fields
+// the input claims.
+func FuzzDecode(f *testing.F) {
+	f.Add(fuzzSeedCapture("pcap"))
+	f.Add(fuzzSeedCapture("pcapng"))
+	f.Add([]byte{})
+	f.Add([]byte{0xd4, 0xc3, 0xb2, 0xa1}) // magic only
+	truncated := fuzzSeedCapture("pcap")
+	f.Add(truncated[:len(truncated)-7])
+	ng := fuzzSeedCapture("pcapng")
+	f.Add(ng[:30])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var pkt Packet
+		for i := 0; i < 1_000_000; i++ {
+			err = r.Next(&pkt)
+			if err != nil {
+				break
+			}
+			if pkt.PayloadLen < 0 || pkt.CapturedLen > MaxSnapLen {
+				t.Fatalf("impossible packet lengths: payload %d captured %d", pkt.PayloadLen, pkt.CapturedLen)
+			}
+		}
+		if err == nil {
+			t.Fatal("Next never terminated")
+		}
+		if err != io.EOF {
+			// Any non-EOF error is acceptable; it must just be an error,
+			// not a panic.
+			_ = err.Error()
+		}
+	})
+}

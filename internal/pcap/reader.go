@@ -1,0 +1,208 @@
+package pcap
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Classic pcap magic numbers, as they appear in the first four file bytes.
+const (
+	magicMicros        = 0xa1b2c3d4
+	magicMicrosSwapped = 0xd4c3b2a1
+	magicNanos         = 0xa1b23c4d
+	magicNanosSwapped  = 0x4d3cb2a1
+	// ngBlockSHB is the pcapng section header block type, which doubles
+	// as the file magic (the byte-order magic follows inside the block).
+	ngBlockSHB = 0x0a0d0d0a
+)
+
+// Reader streams TCP segments out of a pcap or pcapng capture. Create
+// with NewReader, then call Next until io.EOF. The reader holds one
+// bounded buffer regardless of capture size. Not safe for concurrent use.
+type Reader struct {
+	br    *bufio.Reader
+	ng    bool
+	buf   []byte
+	stats Stats
+	// hdr is the reusable fixed-header scratch: passing a stack array to
+	// io.ReadFull makes it escape, which would cost one allocation per
+	// record (see BenchmarkPcapIngest).
+	hdr [16]byte
+
+	// Classic pcap state.
+	bo       binary.ByteOrder
+	nanos    bool
+	linkType uint32
+
+	// pcapng per-section state.
+	ngBO     binary.ByteOrder
+	ifaces   []ngIface
+	sections int
+}
+
+// ngIface is one pcapng interface description: its link type and
+// timestamp resolution.
+type ngIface struct {
+	linkType uint32
+	snapLen  uint32
+	// tsUnitsPow10 / tsUnitsPow2: exactly one is active. pow10 holds n for
+	// 10^-n second units (default 6, microseconds); pow2 holds n for 2^-n
+	// units when the high bit of if_tsresol was set (then pow10 < 0).
+	tsPow10 int
+	tsPow2  int
+}
+
+// NewReader sniffs the capture format from the first bytes of r and
+// returns a streaming reader. It returns ErrFormat when r is neither
+// pcap nor pcapng.
+func NewReader(r io.Reader) (*Reader, error) {
+	rd := &Reader{br: bufio.NewReaderSize(r, 1<<16)}
+	var magic [4]byte
+	if _, err := io.ReadFull(rd.br, magic[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("%w: capture shorter than a file header", ErrFormat)
+		}
+		return nil, err
+	}
+	switch binary.BigEndian.Uint32(magic[:]) {
+	case magicMicros:
+		rd.bo, rd.nanos = binary.BigEndian, false
+	case magicMicrosSwapped:
+		rd.bo, rd.nanos = binary.LittleEndian, false
+	case magicNanos:
+		rd.bo, rd.nanos = binary.BigEndian, true
+	case magicNanosSwapped:
+		rd.bo, rd.nanos = binary.LittleEndian, true
+	case ngBlockSHB:
+		rd.ng = true
+		if err := rd.readSHB(); err != nil {
+			return nil, err
+		}
+		return rd, nil
+	default:
+		return nil, ErrFormat
+	}
+	// Classic pcap: the remaining 20 header bytes.
+	var hdr [20]byte
+	if _, err := io.ReadFull(rd.br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcap: truncated file header: %w", noEOF(err))
+	}
+	major := rd.bo.Uint16(hdr[0:2])
+	if major != 2 {
+		return nil, fmt.Errorf("pcap: unsupported version %d.%d", major, rd.bo.Uint16(hdr[2:4]))
+	}
+	rd.linkType = rd.bo.Uint32(hdr[16:20])
+	return rd, nil
+}
+
+// LinkType returns the capture's link type (for pcapng, the first
+// interface's; 0 before any interface block was seen).
+func (r *Reader) LinkType() uint32 {
+	if r.ng {
+		if len(r.ifaces) > 0 {
+			return r.ifaces[0].linkType
+		}
+		return 0
+	}
+	return r.linkType
+}
+
+// Stats returns the running decode counters.
+func (r *Reader) Stats() Stats { return r.stats }
+
+// Next decodes capture records until it finds the next TCP segment, fills
+// pkt with it, and returns nil. It returns io.EOF at the clean end of the
+// capture and a descriptive error on malformed framing. Non-TCP and
+// header-truncated records are counted in Stats and skipped.
+func (r *Reader) Next(pkt *Packet) error {
+	for {
+		var (
+			data     []byte
+			linkType uint32
+			err      error
+		)
+		if r.ng {
+			data, linkType, err = r.nextNG(pkt)
+		} else {
+			data, linkType, err = r.nextClassic(pkt)
+		}
+		if err != nil {
+			return err
+		}
+		if data == nil {
+			continue // non-packet block (pcapng)
+		}
+		r.stats.Packets++
+		switch parseFrame(linkType, data, pkt) {
+		case parsedTCP:
+			r.stats.TCP++
+			return nil
+		case parsedTruncated:
+			r.stats.Truncated++
+		default:
+			r.stats.Skipped++
+		}
+	}
+}
+
+// nextClassic reads one classic-pcap record.
+func (r *Reader) nextClassic(pkt *Packet) ([]byte, uint32, error) {
+	hdr := r.hdr[:16]
+	if _, err := io.ReadFull(r.br, hdr); err != nil {
+		if err == io.EOF {
+			return nil, 0, io.EOF
+		}
+		return nil, 0, fmt.Errorf("pcap: truncated record header: %w", noEOF(err))
+	}
+	sec := int64(r.bo.Uint32(hdr[0:4]))
+	sub := int64(r.bo.Uint32(hdr[4:8]))
+	capLen := r.bo.Uint32(hdr[8:12])
+	origLen := r.bo.Uint32(hdr[12:16])
+	if capLen > MaxSnapLen {
+		return nil, 0, fmt.Errorf("pcap: record capture length %d exceeds the %d-byte bound", capLen, MaxSnapLen)
+	}
+	if capLen > origLen {
+		return nil, 0, fmt.Errorf("pcap: record capture length %d exceeds original length %d", capLen, origLen)
+	}
+	data, err := r.fill(int(capLen))
+	if err != nil {
+		return nil, 0, fmt.Errorf("pcap: truncated record body: %w", noEOF(err))
+	}
+	nanos := sub
+	if !r.nanos {
+		if sub > 999_999 {
+			return nil, 0, fmt.Errorf("pcap: record microseconds field %d out of range", sub)
+		}
+		nanos = sub * 1000
+	} else if sub > 999_999_999 {
+		return nil, 0, fmt.Errorf("pcap: record nanoseconds field %d out of range", sub)
+	}
+	pkt.Time = time.Unix(sec, nanos).UTC()
+	pkt.CapturedLen = int(capLen)
+	pkt.OrigLen = int(origLen)
+	return data, r.linkType, nil
+}
+
+// fill reads n bytes into the reader's reusable buffer.
+func (r *Reader) fill(n int) ([]byte, error) {
+	if cap(r.buf) < n {
+		r.buf = make([]byte, n, n+1024)
+	}
+	r.buf = r.buf[:n]
+	if _, err := io.ReadFull(r.br, r.buf); err != nil {
+		return nil, err
+	}
+	return r.buf, nil
+}
+
+// noEOF converts a bare io.EOF into io.ErrUnexpectedEOF so mid-structure
+// truncation is distinguishable from a clean end of file.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

@@ -1,0 +1,147 @@
+package pcap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+)
+
+// PacketWriter is the shared interface of the classic-pcap and pcapng
+// writers: one captured frame per call. origLen is the on-the-wire frame
+// length; len(data) may be smaller when the capture is snaplen-truncated.
+type PacketWriter interface {
+	WritePacket(ts time.Time, origLen int, data []byte) error
+}
+
+// Writer emits a classic pcap file (little-endian, microsecond
+// timestamps). Create with NewWriter, which writes the file header.
+type Writer struct {
+	w       io.Writer
+	snapLen uint32
+	scratch [16]byte
+}
+
+// NewWriter writes the classic-pcap file header for the given link type
+// and snap length (0 means MaxSnapLen) and returns the packet writer.
+func NewWriter(w io.Writer, linkType uint32, snapLen uint32) (*Writer, error) {
+	if snapLen == 0 || snapLen > MaxSnapLen {
+		snapLen = MaxSnapLen
+	}
+	var hdr [24]byte
+	le := binary.LittleEndian
+	le.PutUint32(hdr[0:4], magicMicros)
+	le.PutUint16(hdr[4:6], 2) // version 2.4
+	le.PutUint16(hdr[6:8], 4)
+	le.PutUint32(hdr[16:20], snapLen)
+	le.PutUint32(hdr[20:24], linkType)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: w, snapLen: snapLen}, nil
+}
+
+// WritePacket appends one record. data beyond the snap length is
+// truncated, exactly as a capturing kernel would.
+func (w *Writer) WritePacket(ts time.Time, origLen int, data []byte) error {
+	if len(data) > int(w.snapLen) {
+		data = data[:w.snapLen]
+	}
+	if origLen < len(data) {
+		origLen = len(data)
+	}
+	le := binary.LittleEndian
+	le.PutUint32(w.scratch[0:4], uint32(ts.Unix()))
+	le.PutUint32(w.scratch[4:8], uint32(ts.Nanosecond()/1000))
+	le.PutUint32(w.scratch[8:12], uint32(len(data)))
+	le.PutUint32(w.scratch[12:16], uint32(origLen))
+	if _, err := w.w.Write(w.scratch[:]); err != nil {
+		return err
+	}
+	_, err := w.w.Write(data)
+	return err
+}
+
+// NGWriter emits a minimal pcapng file: one section header, one
+// interface, enhanced packet blocks (little-endian, microsecond
+// timestamps). Create with NewNGWriter, which writes the SHB and IDB.
+type NGWriter struct {
+	w       io.Writer
+	snapLen uint32
+	buf     []byte
+}
+
+// NewNGWriter writes the section and interface headers and returns the
+// packet writer.
+func NewNGWriter(w io.Writer, linkType uint32, snapLen uint32) (*NGWriter, error) {
+	if snapLen == 0 || snapLen > MaxSnapLen {
+		snapLen = MaxSnapLen
+	}
+	le := binary.LittleEndian
+	var shb [28]byte
+	le.PutUint32(shb[0:4], ngBlockSHB)
+	le.PutUint32(shb[4:8], 28)
+	le.PutUint32(shb[8:12], ngByteOrderMagic)
+	le.PutUint16(shb[12:14], 1) // version 1.0
+	le.PutUint16(shb[14:16], 0)
+	le.PutUint64(shb[16:24], ^uint64(0)) // unknown section length
+	le.PutUint32(shb[24:28], 28)
+	var idb [20]byte
+	le.PutUint32(idb[0:4], ngBlockIDB)
+	le.PutUint32(idb[4:8], 20)
+	le.PutUint16(idb[8:10], uint16(linkType))
+	le.PutUint32(idb[12:16], snapLen)
+	le.PutUint32(idb[16:20], 20)
+	if _, err := w.Write(shb[:]); err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(idb[:]); err != nil {
+		return nil, err
+	}
+	return &NGWriter{w: w, snapLen: snapLen}, nil
+}
+
+// WritePacket appends one enhanced packet block.
+func (w *NGWriter) WritePacket(ts time.Time, origLen int, data []byte) error {
+	if len(data) > int(w.snapLen) {
+		data = data[:w.snapLen]
+	}
+	if origLen < len(data) {
+		origLen = len(data)
+	}
+	padded := (len(data) + 3) &^ 3
+	total := 32 + padded
+	if cap(w.buf) < total {
+		w.buf = make([]byte, total)
+	}
+	b := w.buf[:total]
+	for i := range b {
+		b[i] = 0
+	}
+	le := binary.LittleEndian
+	le.PutUint32(b[0:4], ngBlockEPB)
+	le.PutUint32(b[4:8], uint32(total))
+	le.PutUint32(b[8:12], 0) // interface 0
+	us := uint64(ts.UnixMicro())
+	le.PutUint32(b[12:16], uint32(us>>32))
+	le.PutUint32(b[16:20], uint32(us))
+	le.PutUint32(b[20:24], uint32(len(data)))
+	le.PutUint32(b[24:28], uint32(origLen))
+	copy(b[28:], data)
+	le.PutUint32(b[28+padded:], uint32(total))
+	_, err := w.w.Write(b)
+	return err
+}
+
+// NewPacketWriter returns a writer for the named format: "pcap" or
+// "pcapng".
+func NewPacketWriter(w io.Writer, format string, linkType uint32, snapLen uint32) (PacketWriter, error) {
+	switch format {
+	case "", "pcap":
+		return NewWriter(w, linkType, snapLen)
+	case "pcapng":
+		return NewNGWriter(w, linkType, snapLen)
+	default:
+		return nil, fmt.Errorf("pcap: unknown capture format %q (want pcap or pcapng)", format)
+	}
+}

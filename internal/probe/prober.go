@@ -128,6 +128,9 @@ type Prober struct {
 	// recorders below instead of allocating fresh traces (see Reuse).
 	reuse      bool
 	recA, recB trace.Recorder
+	// tap, when set, observes every gathering at the wire level (see
+	// SetTap); it survives Rearm so a capture can span many gatherings.
+	tap Tap
 }
 
 // New returns a prober for the given network condition.
@@ -202,6 +205,9 @@ func (p *Prober) GatherEnv(server *websim.Server, env Environment, wmax, mss int
 	}
 	t := p.newTrace(env.Name, wmax, mss)
 	p.path.Reset(p.cond)
+	if p.tap != nil {
+		p.tap.Connect(p.clock, env, wmax, mss)
+	}
 	p.clock = p.sess.run(sender, t, sessionParams{
 		env:          env,
 		wmax:         wmax,
@@ -212,7 +218,11 @@ func (p *Prober) GatherEnv(server *websim.Server, env Environment, wmax, mss int
 		postRounds:   p.cfg.PostRounds,
 		dupAck:       !p.cfg.DisableDupAck,
 		start:        p.clock,
+		tap:          p.tap,
 	})
+	if p.tap != nil {
+		p.tap.Close(p.clock)
+	}
 	server.Close(sender, p.clock)
 	return t, nil
 }

@@ -23,6 +23,9 @@ type sessionParams struct {
 	postRounds   int
 	dupAck       bool
 	start        time.Duration
+	// tap, when non-nil, observes the session's packets (see Tap). It
+	// must not influence gathering.
+	tap Tap
 }
 
 // session gathers one window trace from a sender. It owns the emulated
@@ -154,6 +157,9 @@ func (s *session) deliverAcks(acks []int64, rtt time.Duration) {
 		if s.p.path.Drop(s.p.rng) {
 			continue // ACK lost on the way to the server
 		}
+		if s.p.tap != nil {
+			s.p.tap.Ack(arrive, ackSeg)
+		}
 		s.sender.DeliverAck(arrive, ackSeg, sample)
 	}
 	s.now = arrive
@@ -175,6 +181,7 @@ func (s *session) gatherPre(t *trace.Trace) {
 			s.sender.OnRTOExpired(s.now)
 			continue
 		}
+		s.tapBurst()
 		w, acks := s.receiveBurst(s.burst, true)
 		t.Pre = append(t.Pre, w)
 		if w > s.p.wmax {
@@ -193,7 +200,21 @@ func (s *session) emulateTimeout() {
 	if s.p.dupAck {
 		// A duplicate of the last cumulative ACK: forces conventional
 		// timeout recovery on F-RTO servers.
+		if s.p.tap != nil {
+			s.p.tap.Ack(s.now, s.ackedHigh)
+		}
 		s.sender.DeliverAck(s.now, s.ackedHigh, 0)
+	}
+}
+
+// tapBurst reports the just-built burst to the session tap, if any: every
+// segment leaves the server at the current emulated time.
+func (s *session) tapBurst() {
+	if s.p.tap == nil {
+		return
+	}
+	for _, seg := range s.burst {
+		s.p.tap.Data(s.now, seg)
 	}
 }
 
@@ -206,6 +227,7 @@ func (s *session) gatherPost(t *trace.Trace) {
 			t.DataExhausted = true
 			return
 		}
+		s.tapBurst()
 		w, acks := s.receiveBurst(s.burst, false)
 		t.Post = append(t.Post, w)
 		rtt := s.p.env.PostRTT(r)

@@ -1,0 +1,36 @@
+package probe
+
+import (
+	"time"
+
+	"repro/internal/tcpsim"
+)
+
+// Tap observes a gathering session at the wire level, from the simulated
+// server's vantage point: every data segment the server emits and every
+// cumulative ACK that reaches it, with the session's emulated clock as
+// timestamps. internal/pcapgen implements Tap to turn probe sessions into
+// synthetic packet captures that round-trip through the passive
+// (pcap -> flow -> classify) pipeline.
+//
+// Vantage point contract: Data fires for every segment the server sends
+// (segments lost on the downlink are still observed leaving the server);
+// Ack fires only for ACKs that survive the uplink (lost ACKs never reach
+// the capture point). This matches a capture taken at the server's NIC.
+type Tap interface {
+	// Connect marks the start of one gathering connection in env with the
+	// negotiated wmax threshold and MSS, at emulated time now.
+	Connect(now time.Duration, env Environment, wmax, mss int)
+	// Data reports one data segment leaving the server at time now.
+	Data(now time.Duration, seg tcpsim.Segment)
+	// Ack reports one cumulative ACK (covering all segments below ackSeg)
+	// arriving at the server at time now.
+	Ack(now time.Duration, ackSeg int64)
+	// Close marks the end of the connection at emulated time now.
+	Close(now time.Duration)
+}
+
+// SetTap attaches a wire-level observer to every subsequent gathering of
+// this prober (nil detaches). Gathering results are identical with or
+// without a tap; the tap only observes.
+func (p *Prober) SetTap(t Tap) { p.tap = t }

@@ -13,6 +13,7 @@ import (
 //
 //	POST /v1/identify       synchronous single identification
 //	POST /v1/batch          submit an async batch; 202 + job ID
+//	POST /v1/pcap           upload a packet capture; async per-flow labels
 //	GET  /v1/jobs/{id}      poll batch status and results
 //	DELETE /v1/jobs/{id}    cancel a queued or running batch
 //	GET  /v1/models         list registered models
@@ -23,6 +24,7 @@ func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/identify", s.handleIdentify)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/pcap", s.handlePcap)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/models", s.handleModels)

@@ -22,6 +22,12 @@ type metrics struct {
 	inFlight       atomic.Int64 // probes currently executing (sync + batch)
 	modelsReloaded atomic.Int64
 
+	// Capture-ingestion counters (POST /v1/pcap).
+	pcapUploads           atomic.Int64 // capture uploads received
+	pcapFlowsSeen         atomic.Int64 // TCP flows reassembled from uploads
+	pcapFlowsClassifiable atomic.Int64 // flows that yielded a valid trace
+	pcapDecodeErrors      atomic.Int64 // uploads rejected as undecodable
+
 	// labels maps reported label -> *atomic.Int64. The label set is tiny
 	// and stabilizes after warm-up, which is sync.Map's sweet spot: the
 	// request path is a lock-free read-and-add, with the store path taken
@@ -74,6 +80,16 @@ type MetricsSnapshot struct {
 		Max     int     `json:"max_entries"`
 	} `json:"cache"`
 
+	// Pcap reports capture-ingestion health: how many uploads arrived,
+	// how many flows they held, how many of those reconstructed to
+	// classifiable traces, and how many uploads failed to decode.
+	Pcap struct {
+		Uploads      int64 `json:"uploads"`
+		FlowsSeen    int64 `json:"flows_seen"`
+		Classifiable int64 `json:"flows_classifiable"`
+		DecodeErrors int64 `json:"decode_errors"`
+	} `json:"pcap"`
+
 	Labels map[string]int64 `json:"labels"`
 	Models []ModelInfo      `json:"models"`
 
@@ -116,6 +132,11 @@ func (s *Service) snapshot() MetricsSnapshot {
 	}
 	out.Cache.Entries = s.cache.Len()
 	out.Cache.Max = s.cfg.CacheSize
+
+	out.Pcap.Uploads = m.pcapUploads.Load()
+	out.Pcap.FlowsSeen = m.pcapFlowsSeen.Load()
+	out.Pcap.Classifiable = m.pcapFlowsClassifiable.Load()
+	out.Pcap.DecodeErrors = m.pcapDecodeErrors.Load()
 
 	out.Labels = map[string]int64{}
 	m.labels.Range(func(k, v any) bool {

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"sync"
+
+	"repro/internal/flow"
 )
 
 // Job states reported by GET /v1/jobs/{id}.
@@ -15,13 +17,19 @@ const (
 	StateCancelled = "cancelled"
 )
 
-// job is one accepted async batch: its specs, its mutable progress, and a
-// cancel handle. The executor writes results as probes complete; status
-// polls read a consistent snapshot under mu.
+// job is one accepted async unit of work -- a probe batch (specs) or a
+// pcap capture's flow pairs (pcap) -- with its mutable progress and a
+// cancel handle. The executor writes results as probes or classifications
+// complete; status polls read a consistent snapshot under mu.
 type job struct {
 	id    string
 	model string
 	specs []JobSpec
+	// pcap carries a capture job's reassembled flow pairs; nil for probe
+	// batches. The worker dispatches on it.
+	pcap []flow.FlowIdentification
+	// total is the number of result slots (len(specs) or len(pcap)).
+	total int
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -98,7 +106,7 @@ func (j *job) status() JobStatus {
 	st := JobStatus{
 		ID:        j.id,
 		State:     j.state,
-		Total:     len(j.specs),
+		Total:     j.total,
 		Completed: j.completed,
 		CacheHits: j.cacheHits,
 		Error:     j.errMsg,
@@ -116,15 +124,20 @@ func (s *Service) submit(req BatchRequest) (*job, error) {
 		s.metrics.batchRejected.Add(1)
 		return nil, err
 	}
-	ctx, cancel := context.WithCancel(s.ctx)
-	j := &job{
-		model:   req.Model,
-		specs:   req.Jobs,
-		ctx:     ctx,
-		cancel:  cancel,
-		state:   StateQueued,
-		results: make([]IdentifyResponse, len(req.Jobs)),
-	}
+	return s.enqueue(&job{
+		model: req.Model,
+		specs: req.Jobs,
+		total: len(req.Jobs),
+	})
+}
+
+// enqueue registers a freshly built job (specs or pcap payload set) and
+// pushes it into the bounded queue. It finishes initializing the job:
+// context, state, ID, and the result slots.
+func (s *Service) enqueue(j *job) (*job, error) {
+	j.ctx, j.cancel = context.WithCancel(s.ctx)
+	j.state = StateQueued
+	j.results = make([]IdentifyResponse, j.total)
 	s.jobMu.Lock()
 	s.nextJob++
 	j.id = fmt.Sprintf("job-%d", s.nextJob)
@@ -135,7 +148,7 @@ func (s *Service) submit(req BatchRequest) (*job, error) {
 		s.jobMu.Lock()
 		delete(s.jobs, j.id)
 		s.jobMu.Unlock()
-		cancel()
+		j.cancel()
 		s.metrics.batchRejected.Add(1)
 		return nil, err
 	}
@@ -206,7 +219,11 @@ func (s *Service) worker() {
 				s.retire(j)
 				continue
 			}
-			s.runBatch(j)
+			if j.pcap != nil {
+				s.runPcap(j)
+			} else {
+				s.runBatch(j)
+			}
 			s.retire(j)
 		}
 	}

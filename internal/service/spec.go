@@ -207,10 +207,14 @@ type IdentifyResponse struct {
 	// Features is the extracted feature vector (omitted for invalid and
 	// special traces).
 	Features []float64 `json:"features,omitempty"`
-	// SimulatedMs is the simulated probing time in milliseconds.
+	// SimulatedMs is the simulated probing time in milliseconds (for
+	// capture jobs: the captured flows' wall-clock span).
 	SimulatedMs float64 `json:"simulated_ms"`
 	// Cached reports whether the result came from the LRU cache.
 	Cached bool `json:"cached"`
+	// Flow carries per-flow metadata on POST /v1/pcap job results; absent
+	// for probed identifications.
+	Flow *FlowInfo `json:"flow,omitempty"`
 	// Text is the human-readable rendering of the identification.
 	Text string `json:"text"`
 }

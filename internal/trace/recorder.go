@@ -6,7 +6,7 @@ package trace
 //
 // Ownership contract: the *Trace returned by Reset (and Trace) points into
 // the recorder and is valid only until the next Reset. Callers that need a
-// trace to outlive the recorder must copy it.
+// trace to outlive the recorder must copy it with Trace.Clone.
 type Recorder struct {
 	t Trace
 }

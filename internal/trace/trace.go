@@ -36,6 +36,20 @@ type Trace struct {
 	DataExhausted bool
 }
 
+// Clone returns a deep copy of the trace whose window slices share no
+// storage with the original. It is how callers honor the Recorder
+// ownership contract: a trace recorded into reusable storage must be
+// cloned to outlive the recorder's next Reset.
+func (t *Trace) Clone() *Trace {
+	if t == nil {
+		return nil
+	}
+	cp := *t
+	cp.Pre = append([]int(nil), t.Pre...)
+	cp.Post = append([]int(nil), t.Post...)
+	return &cp
+}
+
 // WTmo returns the window size just before the timeout, or 0 when no
 // timeout was emulated.
 func (t *Trace) WTmo() int {

@@ -175,3 +175,30 @@ func TestDetectSpecialNotFooledByNoise(t *testing.T) {
 		t.Fatalf("lossy RENO detected as %v", got)
 	}
 }
+
+// TestClone: the copy must share no storage with the original, including
+// through a Recorder reset (the ownership contract Clone exists for).
+func TestClone(t *testing.T) {
+	if (*Trace)(nil).Clone() != nil {
+		t.Fatal("nil.Clone() must be nil")
+	}
+	var rec Recorder
+	tr := rec.Reset("A", 256, 536)
+	tr.Pre = append(tr.Pre, 2, 4, 8, 300)
+	tr.Post = append(tr.Post, 0, 1, 2)
+	tr.TimedOut = true
+
+	cp := tr.Clone()
+	rec.Reset("B", 128, 100)
+	rec.Trace().Pre = append(rec.Trace().Pre, 99, 99, 99, 99)
+
+	if cp.Env != "A" || cp.WmaxThreshold != 256 || cp.MSS != 536 || !cp.TimedOut {
+		t.Fatalf("clone lost fields: %+v", cp)
+	}
+	if want := []int{2, 4, 8, 300}; len(cp.Pre) != len(want) || cp.Pre[0] != 2 || cp.Pre[3] != 300 {
+		t.Fatalf("clone Pre corrupted by recorder reuse: %v", cp.Pre)
+	}
+	if len(cp.Post) != 3 || cp.Post[2] != 2 {
+		t.Fatalf("clone Post corrupted: %v", cp.Post)
+	}
+}
