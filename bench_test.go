@@ -316,6 +316,23 @@ func BenchmarkForestVotesInto(b *testing.B) {
 	bench.ForestVotesInto(f)(b)
 }
 
+// BenchmarkForestClassifyBatch measures the batched branch-free kernel on
+// a 64-sample block with caller-owned scratch (one op = one block; see
+// the ns/sample extra metric for the per-sample cost against
+// BenchmarkForestClassify).
+func BenchmarkForestClassifyBatch(b *testing.B) {
+	ctx := benchCtx(b)
+	model, err := ctx.Model()
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, ok := model.(*forest.Forest)
+	if !ok {
+		b.Skipf("model backend is %T, not a forest", model)
+	}
+	bench.ForestClassifyBatch(f, 64)(b)
+}
+
 // BenchmarkForestTrain measures growing the paper's K=80 forest.
 func BenchmarkForestTrain(b *testing.B) {
 	ctx := benchCtx(b)

@@ -217,13 +217,17 @@ func (id *Identifier) IdentifyWithConfig(server *Server, cond Condition, cfg Pro
 // IdentifyBatch probes every job on a bounded worker pool and returns the
 // identifications in input order. Results are deterministic for a fixed
 // (jobs, opts.Seed) regardless of opts.Parallelism; set opts.OnResult to
-// stream results as probes complete. Each pool worker runs a reusable
-// pipeline session, so large batches recycle probe and feature scratch
-// instead of allocating per job.
+// stream results as they complete. Each pool worker runs a reusable
+// block-inference session: it recycles probe and feature scratch across
+// its jobs and gathers their feature vectors into blocks, so the model
+// classifies up to 64 probes in one batched inference call instead of
+// walking every tree per job. Block grouping never changes an outcome
+// (batched classification is bit-identical to scalar), it only changes
+// when results land: streaming arrives in block-sized bursts.
 func (id *Identifier) IdentifyBatch(jobs []BatchJob, opts BatchOptions) []BatchResult {
-	if opts.NewWorkerIdentifier == nil {
-		opts.NewWorkerIdentifier = func() engine.Identifier[core.Identification] {
-			return id.core.NewSession()
+	if opts.NewWorkerIdentifier == nil && opts.NewWorkerBlock == nil {
+		opts.NewWorkerBlock = func() engine.BlockIdentifier[core.Identification] {
+			return id.core.NewBlockSession()
 		}
 	}
 	return engine.IdentifyBatch[core.Identification](id.core, jobs, opts)

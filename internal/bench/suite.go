@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/cc"
 	"repro/internal/classify"
@@ -41,11 +42,13 @@ func Suite(ctx *experiments.Context) ([]Case, error) {
 		{Name: "pcap/ingest", Bench: PcapIngest(model)},
 		{Name: "service/identify_hit", Bench: ServiceIdentify(model, false)},
 		{Name: "service/identify_miss", Bench: ServiceIdentify(model, true)},
+		{Name: "service/batch_blocks", Bench: ServiceBatchBlocks(model, 64)},
 	}
 	if f, ok := model.(*forest.Forest); ok {
 		cases = append([]Case{
 			{Name: "forest/votes_into", Bench: ForestVotesInto(f)},
 			{Name: "forest/classify", Bench: ForestClassify(model)},
+			{Name: "forest/classify_batch", Bench: ForestClassifyBatch(f, 64)},
 		}, cases...)
 	} else {
 		cases = append([]Case{{Name: "forest/classify", Bench: ForestClassify(model)}}, cases...)
@@ -79,6 +82,35 @@ func ForestClassify(model classify.Classifier) func(*testing.B) {
 		for i := 0; i < b.N; i++ {
 			model.Classify(benchVector)
 		}
+	}
+}
+
+// ForestClassifyBatch measures the batched branch-free kernel on a block
+// of m spread-out vectors with caller-owned scratch. One op classifies the
+// whole block, so ns/op here divided by m is the per-sample cost to weigh
+// against forest/classify.
+func ForestClassifyBatch(f *forest.Forest, m int) func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		rng := rand.New(rand.NewSource(9))
+		vecs := make([][]float64, m)
+		for i := range vecs {
+			v := make([]float64, len(benchVector))
+			for d, x := range benchVector {
+				v[d] = x * (0.5 + rng.Float64())
+			}
+			vecs[i] = v
+		}
+		labels := make([]string, m)
+		confs := make([]float64, m)
+		var sc forest.BatchScratch
+		f.ClassifyBatchInto(&sc, vecs, labels, confs)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f.ClassifyBatchInto(&sc, vecs, labels, confs)
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*m), "ns/sample")
+		b.ReportMetric(float64(m), "block")
 	}
 }
 
@@ -124,7 +156,10 @@ func FeatureExtraction() func(*testing.B) {
 }
 
 // IdentifyBatch measures batched identification of jobs servers through a
-// pretrained model on the worker pool, with per-worker pipeline sessions.
+// pretrained model on the worker pool, with per-worker block sessions
+// feeding the batched forest kernel (the default engine path since the
+// block-inference change; probing still dominates, allocs/op is the
+// budgeted number).
 func IdentifyBatch(model classify.Classifier, jobs int) func(*testing.B) {
 	return func(b *testing.B) {
 		b.ReportAllocs()
@@ -141,8 +176,8 @@ func IdentifyBatch(model classify.Classifier, jobs int) func(*testing.B) {
 		for i := 0; i < b.N; i++ {
 			results := engine.IdentifyBatch[core.Identification](id, batch, engine.BatchConfig[core.Identification]{
 				Seed: int64(i),
-				NewWorkerIdentifier: func() engine.Identifier[core.Identification] {
-					return id.NewSession()
+				NewWorkerBlock: func() engine.BlockIdentifier[core.Identification] {
+					return id.NewBlockSession()
 				},
 			})
 			valid = 0
@@ -153,6 +188,67 @@ func IdentifyBatch(model classify.Classifier, jobs int) func(*testing.B) {
 			}
 		}
 		b.ReportMetric(float64(valid)/float64(jobs)*100, "valid-%")
+		b.ReportMetric(float64(jobs), "jobs/op")
+	}
+}
+
+// ServiceBatchBlocks measures the async batch queue end to end: POST
+// /v1/batch with jobs all-miss specs, then poll GET /v1/jobs/{id} until
+// the worker has coalesced the queue into inference blocks and finished.
+// One op is one whole batch job; seeds vary per iteration so every spec
+// is a fresh probe through the block pipeline, never a cache replay.
+func ServiceBatchBlocks(model classify.Classifier, jobs int) func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		reg := service.NewRegistry()
+		reg.Add("bench", model)
+		svc := service.New(reg, service.Config{})
+		b.Cleanup(svc.Close)
+		h := svc.Handler()
+		names := cc.CAAINames()
+
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var body strings.Builder
+			body.WriteString(`{"jobs":[`)
+			for k := 0; k < jobs; k++ {
+				if k > 0 {
+					body.WriteByte(',')
+				}
+				fmt.Fprintf(&body, `{"server":{"algorithm":%q},"condition":{"loss_rate":0.005},"seed":%d}`,
+					names[k%len(names)], int64(i*jobs+k+1))
+			}
+			body.WriteString(`]}`)
+			req := httptest.NewRequest(http.MethodPost, "/v1/batch", strings.NewReader(body.String()))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusAccepted {
+				b.Fatalf("submit status %d: %s", rec.Code, rec.Body.String())
+			}
+			var acc service.BatchAccepted
+			if err := json.Unmarshal(rec.Body.Bytes(), &acc); err != nil {
+				b.Fatal(err)
+			}
+			for {
+				req = httptest.NewRequest(http.MethodGet, "/v1/jobs/"+acc.JobID, nil)
+				rec = httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				var st service.JobStatus
+				if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+					b.Fatal(err)
+				}
+				if st.State == service.StateDone {
+					if st.CacheHits != 0 {
+						b.Fatalf("batch saw %d cache hits, want all misses", st.CacheHits)
+					}
+					break
+				}
+				if st.State == service.StateFailed || st.State == service.StateCancelled {
+					b.Fatalf("job ended %s: %s", st.State, st.Error)
+				}
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
 		b.ReportMetric(float64(jobs), "jobs/op")
 	}
 }

@@ -31,6 +31,36 @@ type Classifier interface {
 	Classify(features []float64) (string, float64)
 }
 
+// BatchClassifier is implemented by backends that can classify a block of
+// feature vectors in one call (the random forest's reach-mask kernel
+// amortizes per-tree work over 64 samples at a time). Implementations
+// must produce results identical to calling Classify per vector -- the
+// pipeline batches opportunistically wherever vectors pile up, and job
+// outcomes must not depend on how they were grouped into blocks.
+type BatchClassifier interface {
+	Classifier
+	// ClassifyBatch writes the label and confidence for vecs[i] into
+	// labels[i] and confs[i]; both slices must have len(vecs) elements.
+	ClassifyBatch(vecs [][]float64, labels []string, confs []float64)
+}
+
+// Batch classifies a block of vectors through c's batched entry point
+// when it has one, and vector by vector otherwise. It is the dispatch
+// helper the pipeline's block paths share, so every consumer gains the
+// batched kernel the moment a backend implements BatchClassifier.
+func Batch(c Classifier, vecs [][]float64, labels []string, confs []float64) {
+	if len(vecs) == 0 {
+		return
+	}
+	if bc, ok := c.(BatchClassifier); ok {
+		bc.ClassifyBatch(vecs, labels, confs)
+		return
+	}
+	for i, v := range vecs {
+		labels[i], confs[i] = c.Classify(v)
+	}
+}
+
 // Codec serializes trained classifiers of one backend. Implementations
 // register themselves with RegisterCodec (typically from an init function)
 // so Save and Load can dispatch on the backend name.

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+
+	"repro/internal/classify"
+	"repro/internal/engine"
+	"repro/internal/feature"
+	"repro/internal/netem"
+	"repro/internal/probe"
+	"repro/internal/websim"
+)
+
+// BlockSession is the block-inference counterpart of Session: it probes
+// jobs one at a time like Session.Identify but defers the model call,
+// parking the gathered feature vectors until Flush classifies the whole
+// block through the classifier's batched kernel (one forest sweep for up
+// to 64 samples instead of 64 scalar tree walks). Backends without a
+// batched entry point fall back to per-vector classification at Flush, so
+// results are always identical to Session.Identify job for job --
+// grouping into blocks never changes an outcome.
+//
+// A BlockSession is NOT safe for concurrent use; engine.IdentifyBatch
+// hands one to each pool worker (see engine.BatchConfig.NewWorkerBlock)
+// and flushes it whenever a block fills or the worker runs out of jobs.
+type BlockSession struct {
+	id    *Identifier
+	batch classify.BatchClassifier // nil: scalar fallback at Flush
+	p     *probe.Prober
+	sc    feature.Scratch
+
+	tags    []int
+	outs    []Identification
+	pending []int32 // indices into outs that still need a classification
+	vecs    [][]float64
+	labels  []string
+	confs   []float64
+}
+
+// NewBlockSession returns a reusable block-inference pipeline bound to
+// this identifier's classifier. Buffers are sized for one default block
+// up front so a session filled to engine.DefaultBlockSize never
+// reallocates mid-batch (larger blocks still grow transparently).
+func (id *Identifier) NewBlockSession() *BlockSession {
+	bc, _ := id.model.(classify.BatchClassifier)
+	bs := &BlockSession{
+		id:    id,
+		batch: bc,
+		tags:  make([]int, 0, engine.DefaultBlockSize),
+		outs:  make([]Identification, 0, engine.DefaultBlockSize),
+	}
+	if bc != nil {
+		bs.pending = make([]int32, 0, engine.DefaultBlockSize)
+		bs.vecs = make([][]float64, 0, engine.DefaultBlockSize)
+		bs.labels = make([]string, engine.DefaultBlockSize)
+		bs.confs = make([]float64, engine.DefaultBlockSize)
+	}
+	return bs
+}
+
+// Gather probes one server exactly as Session.Identify would -- same
+// prober reuse, same RNG stream -- and buffers the prepared outcome under
+// tag. Classification is deferred to Flush only when the backend has a
+// batched kernel; for scalar-only backends deferral buys nothing, so the
+// model runs right here and the session keeps Session.Identify's per-job
+// timing (a gathered job is a finished job). Outcomes that need no model
+// call (invalid traces, special shapes) are buffered as-is; Flush emits
+// every gathered job in gather order either way.
+func (bs *BlockSession) Gather(tag int, server *websim.Server, cond netem.Condition, cfg probe.Config, rng *rand.Rand) {
+	if bs.p == nil {
+		bs.p = probe.New(cfg, cond, rng)
+		bs.p.Reuse()
+	} else {
+		bs.p.Rearm(cfg, cond, rng)
+	}
+	res := bs.p.Gather(server)
+	out, need := prepareResult(res, &bs.sc)
+	if need {
+		if bs.batch == nil {
+			label, conf := bs.id.model.Classify(out.Vector[:])
+			applyLabel(&out, label, conf)
+		} else {
+			bs.pending = append(bs.pending, int32(len(bs.outs)))
+		}
+	}
+	bs.tags = append(bs.tags, tag)
+	bs.outs = append(bs.outs, out)
+}
+
+// Buffered reports how many gathered jobs await Flush.
+func (bs *BlockSession) Buffered() int { return len(bs.outs) }
+
+// Flush classifies every pending vector in one batched model call,
+// finishes the buffered identifications with the Unsure rule, and emits
+// each (tag, Identification) in gather order, leaving the session empty.
+func (bs *BlockSession) Flush(emit func(tag int, out Identification)) {
+	if len(bs.pending) > 0 {
+		bs.vecs = bs.vecs[:0]
+		for _, k := range bs.pending {
+			bs.vecs = append(bs.vecs, bs.outs[k].Vector[:])
+		}
+		n := len(bs.pending)
+		if cap(bs.labels) < n {
+			bs.labels = make([]string, n)
+			bs.confs = make([]float64, n)
+		}
+		labels, confs := bs.labels[:n], bs.confs[:n]
+		bs.batch.ClassifyBatch(bs.vecs, labels, confs)
+		for i, k := range bs.pending {
+			applyLabel(&bs.outs[k], labels[i], confs[i])
+		}
+	}
+	for i := range bs.outs {
+		emit(bs.tags[i], bs.outs[i])
+	}
+	bs.tags = bs.tags[:0]
+	bs.outs = bs.outs[:0]
+	bs.pending = bs.pending[:0]
+}
+
+// IdentifyResults classifies a batch of already-gathered probe results:
+// the pipeline for traces that arrived without probing (reassembled
+// packet captures, replayed traces). Preparation -- special-shape
+// detection and feature extraction -- runs per sample; the model then
+// classifies every vector in one batched inference call. Results are
+// identical to calling IdentifyResult per element.
+func (id *Identifier) IdentifyResults(ress []*probe.Result) []Identification {
+	outs, _ := id.IdentifyResultsCtx(context.Background(), ress, 0)
+	return outs
+}
+
+// IdentifyResultsCtx is IdentifyResults with cancellation and bounded
+// parallelism for the preparation stage (0 = all CPUs). On cancellation
+// the samples already prepared are still classified and finished; the
+// rest stay zero. It returns ctx.Err() when cancelled.
+func (id *Identifier) IdentifyResultsCtx(ctx context.Context, ress []*probe.Result, parallelism int) ([]Identification, error) {
+	outs := make([]Identification, len(ress))
+	need := make([]bool, len(ress))
+	scratch := make([]feature.Scratch, engine.Workers(len(ress), parallelism))
+	err := engine.RunWorkers(ctx, len(ress), parallelism, func(w, i int) {
+		outs[i], need[i] = prepareResult(ress[i], &scratch[w])
+	})
+	var idxs []int
+	var vecs [][]float64
+	for i := range outs {
+		if need[i] {
+			idxs = append(idxs, i)
+			vecs = append(vecs, outs[i].Vector[:])
+		}
+	}
+	if len(idxs) > 0 {
+		labels := make([]string, len(idxs))
+		confs := make([]float64, len(idxs))
+		classify.Batch(id.model, vecs, labels, confs)
+		for k, i := range idxs {
+			applyLabel(&outs[i], labels[k], confs[k])
+		}
+	}
+	return outs, err
+}

@@ -246,24 +246,42 @@ func (id *Identifier) IdentifyResult(res *probe.Result) Identification {
 // identifyResult is IdentifyResult with caller-owned feature scratch (the
 // Session hot path reuses one across jobs).
 func (id *Identifier) identifyResult(res *probe.Result, sc *feature.Scratch) Identification {
+	out, need := prepareResult(res, sc)
+	if need {
+		label, conf := id.model.Classify(out.Vector[:])
+		applyLabel(&out, label, conf)
+	}
+	return out
+}
+
+// prepareResult runs every pipeline stage before model inference --
+// validity, special-shape detection, feature extraction -- and reports
+// whether the outcome still needs a classification. It is the per-sample
+// half of the block paths: BlockSession and IdentifyResults prepare
+// samples one at a time and classify whole blocks at once.
+func prepareResult(res *probe.Result, sc *feature.Scratch) (Identification, bool) {
 	out := Identification{Wmax: res.Wmax, MSS: res.MSS, Reason: res.Reason}
 	if !res.Valid {
-		return out
+		return out, false
 	}
 	out.Valid = true
 	if sp := trace.DetectSpecial(res.TraceA); sp != trace.SpecialNone {
 		out.Special = sp
-		return out
+		return out, false
 	}
 	out.Vector = feature.ExtractWith(sc, res.TraceA, res.TraceB)
-	label, conf := id.model.Classify(out.Vector[:])
+	return out, true
+}
+
+// applyLabel finishes a prepared identification with the model's verdict,
+// applying the paper's 40% Unsure rule.
+func applyLabel(out *Identification, label string, conf float64) {
 	out.Confidence = conf
 	if conf < UnsureThreshold {
 		out.Label = LabelUnsure
-		return out
+		return
 	}
 	out.Label = label
-	return out
 }
 
 // Identify gathers traces from server with a fresh prober under cond and

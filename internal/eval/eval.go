@@ -11,7 +11,6 @@
 package eval
 
 import (
-	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -23,7 +22,6 @@ import (
 	"repro/internal/feature"
 	"repro/internal/trace"
 	"repro/internal/websim"
-	"repro/internal/xrand"
 )
 
 // Config controls one matrix run.
@@ -179,9 +177,12 @@ const trialSeedStride = 6700417
 // (algorithm, scenario, budget, trial) tuple is one pool job with its own
 // deterministically derived RNG, probing a cooperative testbed server
 // through the scenario's netem condition with the budget's prober — the
-// same Session pipeline path the service and census use. Outcomes are a
-// pure function of (model, cfg), independent of parallelism and worker
-// scheduling.
+// same block-session pipeline path the service and census use. Each
+// budget sweeps as one engine.IdentifyBatch whose workers gather feature
+// vectors into inference blocks, so the forest runs once per block
+// instead of once per trial. Outcomes are a pure function of (model,
+// cfg), independent of parallelism, worker scheduling, and block
+// grouping (block classification is bit-identical to scalar).
 func Run(id *core.Identifier, cfg Config) *Matrix {
 	cfg = cfg.withDefaults()
 	type cellDef struct {
@@ -199,16 +200,32 @@ func Run(id *core.Identifier, cfg Config) *Matrix {
 	}
 	jobs := len(defs) * cfg.Trials
 	outs := make([]core.Identification, jobs)
-	sessions := make([]*core.Session, engine.Workers(jobs, cfg.Parallelism))
-	for w := range sessions {
-		sessions[w] = id.NewSession()
+	// The probe budget varies only along the batch-config axis, so the
+	// matrix partitions into one batch per budget (defs are budget-major).
+	perBudget := len(cfg.Scenarios) * len(cfg.Algorithms) * cfg.Trials
+	for b := range cfg.Budgets {
+		base := b * perBudget
+		ejobs := make([]engine.Job, perBudget)
+		for k := range ejobs {
+			j := base + k
+			d := defs[j/cfg.Trials]
+			ejobs[k] = engine.Job{
+				Server: websim.Testbed(d.alg),
+				Cond:   cfg.Scenarios[d.scen].Cond,
+				Seed:   cfg.Seed + int64(j+1)*trialSeedStride,
+			}
+		}
+		results := engine.IdentifyBatch[core.Identification](id, ejobs, engine.BatchConfig[core.Identification]{
+			Parallelism: cfg.Parallelism,
+			Probe:       cfg.Budgets[b].Probe,
+			NewWorkerBlock: func() engine.BlockIdentifier[core.Identification] {
+				return id.NewBlockSession()
+			},
+		})
+		for k, r := range results {
+			outs[base+k] = r.Out
+		}
 	}
-	engine.RunWorkers(context.Background(), jobs, cfg.Parallelism, func(w, j int) {
-		d := defs[j/cfg.Trials]
-		rng := xrand.New(cfg.Seed + int64(j+1)*trialSeedStride)
-		outs[j] = sessions[w].Identify(
-			websim.Testbed(d.alg), cfg.Scenarios[d.scen].Cond, cfg.Budgets[d.budget].Probe, rng)
-	})
 
 	m := &Matrix{
 		Algorithms:          cfg.Algorithms,

@@ -8,7 +8,6 @@ import (
 
 	"repro/internal/classify"
 	"repro/internal/core"
-	"repro/internal/engine"
 	"repro/internal/pcap"
 	"repro/internal/probe"
 )
@@ -133,31 +132,48 @@ func Pair(flows []*FlowTrace) []FlowIdentification {
 	return out
 }
 
-// Classify runs the pipeline over paired flows on the engine worker
-// pool, filling each pair's ID in place: special-shape detection, feature
-// extraction, and model classification with the Unsure rule -- the same
-// path probed traces take.
+// Classify runs the pipeline over paired flows, filling each pair's ID in
+// place: special-shape detection and feature extraction fan out on the
+// engine worker pool, then the model classifies every extracted vector in
+// one block through its batched kernel -- the same inference path probed
+// traces take, with the same per-pair results.
 func Classify(pairs []FlowIdentification, model classify.Classifier, parallelism int) {
 	_ = ClassifyCtx(context.Background(), pairs, model, parallelism, nil)
 }
 
 // ClassifyCtx is Classify with cancellation and a per-pair completion
-// callback (both optional), for callers that stream results as they
-// land -- the service's async pcap jobs. onResult runs on pool workers
-// and must be safe for concurrent use.
+// callback (both optional), for callers that tally results as they
+// land -- the service's async pcap jobs. onResult runs serially on the
+// calling goroutine, after the block classification, in pair order; a
+// cancelled run returns ctx's error without invoking it.
 func ClassifyCtx(ctx context.Context, pairs []FlowIdentification, model classify.Classifier, parallelism int, onResult func(i int)) error {
 	id := core.NewIdentifier(model)
-	return engine.RunCtx(ctx, len(pairs), parallelism, func(i int) {
-		pairs[i].ID = classifyPair(id, &pairs[i])
+	ress := make([]*probe.Result, len(pairs))
+	for i := range pairs {
+		ress[i] = pairResult(&pairs[i])
+	}
+	outs, err := id.IdentifyResultsCtx(ctx, ress, parallelism)
+	if err != nil {
+		return err
+	}
+	for i := range pairs {
+		out := outs[i]
+		out.Elapsed = pairs[i].A.End.Sub(pairs[i].A.Start)
+		if pairs[i].B != nil {
+			out.Elapsed += pairs[i].B.End.Sub(pairs[i].B.Start)
+		}
+		pairs[i].ID = out
 		if onResult != nil {
 			onResult(i)
 		}
-	})
+	}
+	return nil
 }
 
-// classifyPair maps one flow pair through the identification pipeline.
-func classifyPair(id *core.Identifier, p *FlowIdentification) core.Identification {
-	res := probe.Result{MSS: p.A.MSS}
+// pairResult maps one flow pair onto the probe result the identification
+// pipeline consumes.
+func pairResult(p *FlowIdentification) *probe.Result {
+	res := &probe.Result{MSS: p.A.MSS}
 	if p.A.Trace != nil {
 		// Pairing fixes the environment roles the traces played.
 		p.A.Trace.Env = "A"
@@ -181,12 +197,7 @@ func classifyPair(id *core.Identifier, p *FlowIdentification) core.Identificatio
 	default:
 		res.Valid = true
 	}
-	out := id.IdentifyResult(&res)
-	out.Elapsed = p.A.End.Sub(p.A.Start)
-	if p.B != nil {
-		out.Elapsed += p.B.End.Sub(p.B.Start)
-	}
-	return out
+	return res
 }
 
 // IdentifyCapture is the passive pipeline end to end: decode r, track and

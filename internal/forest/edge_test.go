@@ -21,14 +21,31 @@ func TestConfigDefaults(t *testing.T) {
 	}
 }
 
-func TestForestClassesCopied(t *testing.T) {
+func TestForestClassesImmutableView(t *testing.T) {
 	ds := clusterDataset(t, 10, 33)
 	f := Train(ds, Config{Trees: 3, Subspace: 2, Seed: 34})
-	cs := f.Classes()
-	cs[0] = "mutated"
-	if f.Classes()[0] == "mutated" {
-		t.Fatal("Classes leaked internal state")
+	// Classes returns a shared read-only view: stable across calls (no
+	// per-call copy) and aligned with the vote-vector index order.
+	a, b := f.Classes(), f.Classes()
+	if len(a) == 0 || &a[0] != &b[0] {
+		t.Fatal("Classes must return the same shared view every call")
 	}
+	want := ds.Classes()
+	for i, c := range a {
+		if c != want[i] {
+			t.Fatalf("Classes()[%d] = %q, want %q", i, c, want[i])
+		}
+	}
+}
+
+func TestClassesZeroAllocs(t *testing.T) {
+	ds := clusterDataset(t, 10, 33)
+	f := Train(ds, Config{Trees: 3, Subspace: 2, Seed: 34})
+	var sink []string
+	if n := testing.AllocsPerRun(100, func() { sink = f.Classes() }); n != 0 {
+		t.Fatalf("Classes allocates %.1f per call, want 0", n)
+	}
+	_ = sink
 }
 
 func TestCrossValidateFoldFloor(t *testing.T) {

@@ -117,13 +117,22 @@ const leafMarker = int32(-1)
 
 // Forest is a trained random forest. Safe for concurrent classification.
 //
-// All trees live in one contiguous structure-of-arrays arena: node i splits
-// on feat[i] at thr[i] with children kids[2i] and kids[2i+1] (absolute node
-// indices), or is a leaf voting labels[i] when feat[i] < 0. Tree t occupies
-// nodes [starts[t], starts[t+1]) with its root at starts[t]. The flat
-// layout keeps the whole model in a handful of allocations and turns the
-// per-tree walk into branchy-but-local slice indexing instead of pointer
-// chasing across 80 separately allocated node slices.
+// All trees live in one contiguous structure-of-arrays arena laid out in
+// level order (breadth-first per tree): node i splits on feat[i] at thr[i]
+// with children kids[2i] and kids[2i+1] (absolute node indices), or is a
+// leaf voting labels[i] when feat[i] < 0. Tree t occupies nodes
+// [starts[t], starts[t+1]) with its root at starts[t]. The flat layout
+// keeps the whole model in a handful of allocations and turns the per-tree
+// walk into branchy-but-local slice indexing instead of pointer chasing
+// across 80 separately allocated node slices.
+//
+// The breadth-first order places a node's two children adjacently
+// (kids[2i+1] == kids[2i]+1, a BFS invariant), which is what the batched
+// kernel in batch.go exploits: it stores each node as one packed int32
+// (left-child index and split feature) plus one threshold, so a block of
+// feature vectors advances through a tree level by level with branch-free
+// compares. See buildBatchArena for the packed mirror and the optional
+// float32 threshold quantization.
 type Forest struct {
 	classes []string
 	// width is the feature-vector length the trees index into; VotesInto
@@ -136,14 +145,95 @@ type Forest struct {
 	kids   []int32
 	labels []int32
 	starts []int32
+
+	// Batched-inference mirror of the arena (see batch.go). meta packs
+	// left-child-index<<featShift | feature per node; bthr mirrors thr
+	// with +Inf at leaves so leaves self-select branch-free; bthr32 is the
+	// quantized threshold arena, built only when every split threshold is
+	// exactly representable in float32 (lossless by construction). depth
+	// is the per-tree level count. batchable gates the kernel: a model the
+	// packed encoding cannot represent falls back to the scalar walk.
+	meta      []int32
+	bthr      []float64
+	bthr32    []float32
+	depth     []int32
+	featShift uint32
+	batchable bool
+
+	// Sweep-kernel arenas (sweep.go). The assembly kernel streams a
+	// tree's internal nodes and its leaves as two separate runs so
+	// neither inner loop carries a leaf-vs-internal branch. sweepNodes[j]
+	// packs an internal node's tree-local index (low 32 bits) with its
+	// routing word (high 32 bits: tree-local left child << sweepShift |
+	// feature byte-row offset); sweepThr holds the matching split
+	// thresholds, loaded sequentially. sweepLeaves[j] packs a leaf's
+	// tree-local index (low 32) with its class label (high 32).
+	// istarts/lstarts delimit each tree's run; maxTreeNodes bounds the
+	// per-tree reach-mask scratch. istarts is nil when the model is not
+	// batchable or a packed field would overflow (the portable kernel
+	// then serves every batch).
+	sweepNodes   []uint64
+	sweepThr     []float64
+	sweepLeaves  []uint64
+	istarts      []int32
+	lstarts      []int32
+	sweepShift   uint32
+	maxTreeNodes int
 }
 
-// flatten fuses per-tree node slices into the arena. Node order within a
-// tree is preserved, so persistence round-trips bit-identically.
+// flatten fuses per-tree node slices into the arena, re-laying every tree
+// in level order (breadth-first). Classifications are bit-identical to a
+// depth-first layout -- only node order changes -- and Save accepts any
+// children-after-parent order, so persistence still round-trips exactly.
+// Nodes unreachable from a tree's root (possible only in hand-crafted
+// model files; the builder never produces them) are dropped, which cannot
+// change any classification.
 func flatten(classes []string, width int, trees [][]treeNode) *Forest {
-	total := 0
+	// Pass 1: breadth-first order per tree. orders[t] lists tree-local
+	// node ids in visit order; pos maps node id -> BFS position within
+	// its tree; level holds the depth of orders[t][k].
+	maxTree := 0
 	for _, nodes := range trees {
-		total += len(nodes)
+		if len(nodes) > maxTree {
+			maxTree = len(nodes)
+		}
+	}
+	orders := make([][]int32, len(trees))
+	pos := make([]int32, maxTree)
+	level := make([]int32, maxTree)
+	depth := make([]int32, len(trees))
+	total := 0
+	for t, nodes := range trees {
+		order := make([]int32, 0, len(nodes))
+		order = append(order, 0)
+		pos[0], level[0] = 0, 0
+		for k := 0; k < len(order); k++ {
+			n := &nodes[order[k]]
+			if n.leaf {
+				continue
+			}
+			// Children are appended consecutively, which is what makes
+			// kids[2i+1] == kids[2i]+1 hold arena-wide.
+			pos[n.left] = int32(len(order))
+			level[len(order)] = level[k] + 1
+			order = append(order, n.left)
+			pos[n.right] = int32(len(order))
+			level[len(order)] = level[k] + 1
+			order = append(order, n.right)
+		}
+		depth[t] = level[len(order)-1] + 1
+		orders[t] = order
+		total += len(order)
+
+		// Pass 2 (interleaved per tree would clobber pos): record the
+		// positions now while pos is valid for this tree, by rewriting
+		// each node's children to BFS positions in place of ids.
+		for _, j := range order {
+			n := &nodes[j]
+			if !n.leaf {
+				n.left, n.right = pos[n.left], pos[n.right]
+			}
+		}
 	}
 	f := &Forest{
 		classes: classes,
@@ -153,12 +243,14 @@ func flatten(classes []string, width int, trees [][]treeNode) *Forest {
 		kids:    make([]int32, 2*total),
 		labels:  make([]int32, total),
 		starts:  make([]int32, len(trees)+1),
+		depth:   depth,
 	}
 	off := int32(0)
 	for t, nodes := range trees {
 		f.starts[t] = off
-		for j, n := range nodes {
-			i := off + int32(j)
+		for k, j := range orders[t] {
+			i := off + int32(k)
+			n := &nodes[j]
 			if n.leaf {
 				f.feat[i] = leafMarker
 				f.labels[i] = int32(n.label)
@@ -169,9 +261,10 @@ func flatten(classes []string, width int, trees [][]treeNode) *Forest {
 			f.kids[2*i] = off + n.left
 			f.kids[2*i+1] = off + n.right
 		}
-		off += int32(len(nodes))
+		off += int32(len(orders[t]))
 	}
 	f.starts[len(trees)] = off
+	f.buildBatchArena()
 	return f
 }
 
@@ -218,12 +311,12 @@ func Train(ds *Dataset, cfg Config) *Forest {
 	return flatten(ds.classes, width, trees)
 }
 
-// Classes returns the class labels the forest can emit.
-func (f *Forest) Classes() []string {
-	out := make([]string, len(f.classes))
-	copy(out, f.classes)
-	return out
-}
+// Classes returns the class labels the forest can emit, indexed like the
+// vote vectors. The returned slice is a shared immutable view into the
+// model -- callers must not modify it. (It used to be copied defensively,
+// which made every label lookup on the service hot path allocate; see
+// TestForestClassesImmutableView / TestClassesZeroAllocs.)
+func (f *Forest) Classes() []string { return f.classes }
 
 // votePool recycles vote buffers so Classify (the classify.Classifier
 // entry point, whose signature cannot take scratch) is allocation-free in

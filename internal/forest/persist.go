@@ -107,27 +107,17 @@ func Load(r io.Reader) (*Forest, error) {
 		}
 		total += n
 	}
-	f := &Forest{
-		classes: doc.Classes,
-		feat:    make([]int32, total),
-		thr:     make([]float64, total),
-		kids:    make([]int32, 2*total),
-		labels:  make([]int32, total),
-		starts:  make([]int32, len(doc.Trees)+1),
-	}
 	maxFeature := -1
-	off := int32(0)
+	trees := make([][]treeNode, len(doc.Trees))
 	for i, td := range doc.Trees {
-		f.starts[i] = off
 		n := len(td.Feature)
+		nodes := make([]treeNode, n)
 		for j := 0; j < n; j++ {
-			k := off + int32(j)
 			if td.Feature[j] < 0 {
 				if td.Label[j] < 0 || td.Label[j] >= len(doc.Classes) {
 					return nil, fmt.Errorf("forest: tree %d node %d: label %d out of range", i, j, td.Label[j])
 				}
-				f.feat[k] = leafMarker
-				f.labels[k] = int32(td.Label[j])
+				nodes[j] = treeNode{leaf: true, label: td.Label[j]}
 				continue
 			}
 			if doc.Features > 0 && td.Feature[j] >= doc.Features {
@@ -145,21 +135,25 @@ func Load(r io.Reader) (*Forest, error) {
 			if td.Left[j] <= int32(j) || td.Right[j] <= int32(j) {
 				return nil, fmt.Errorf("forest: tree %d node %d: child index not after parent", i, j)
 			}
-			f.feat[k] = int32(td.Feature[j])
-			f.thr[k] = td.Threshold[j]
-			f.kids[2*k] = off + td.Left[j]
-			f.kids[2*k+1] = off + td.Right[j]
+			nodes[j] = treeNode{
+				feature:   td.Feature[j],
+				threshold: td.Threshold[j],
+				left:      td.Left[j],
+				right:     td.Right[j],
+			}
 		}
-		off += int32(n)
+		trees[i] = nodes
 	}
-	f.starts[len(doc.Trees)] = off
-	f.width = doc.Features
-	if f.width == 0 {
+	width := doc.Features
+	if width == 0 {
 		// Legacy file without a declared width: the largest split index
 		// bounds what classification will dereference.
-		f.width = maxFeature + 1
+		width = maxFeature + 1
 	}
-	return f, nil
+	// flatten re-lays the trees in level order and builds the packed batch
+	// arena, exactly as Train does, so loaded and freshly trained models
+	// share one in-memory representation.
+	return flatten(doc.Classes, width, trees), nil
 }
 
 // SaveFile writes the forest to path.

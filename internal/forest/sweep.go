@@ -1,0 +1,166 @@
+package forest
+
+import (
+	"runtime"
+	"unsafe"
+)
+
+// This file drives the reach-mask sweep kernel (sweep_amd64.s), the fast
+// path behind VotesBatch on AVX-512 hardware.
+//
+// The portable kernel in batch.go advances each (lane, tree) pair one
+// node at a time, so its cost is the sum of path lengths with a few
+// nanoseconds of bookkeeping per advance -- enough ILP to match the
+// scalar walk but not to beat it 3x. The sweep inverts the loop: instead
+// of lanes walking nodes, nodes filter lanes. Each node carries a 64-bit
+// occupancy mask of which block lanes are at it. An internal node
+// broadcasts its threshold once and compares it against all 64 lanes
+// (eight VCMPPD over a feature-major block), splitting its reach mask
+// into the two children's; a leaf ORs its reach into a per-class
+// accumulator. One pass over the tree routes the whole block, so the
+// per-node cost is amortized over up to 64 samples. Because the arena is
+// breadth-first, every parent precedes its children, so a tree is
+// evaluated by two straight-line passes with no data-dependent branch at
+// all: pass 1 streams the internal nodes (split out into their own
+// packed array at arena-build time) propagating reach masks, pass 2
+// streams the leaves ORing reach into the class masks. After each tree
+// the class masks drain into per-lane byte vote counters.
+//
+// Routing is bit-identical to the scalar walk by construction: VCMPPD
+// with predicate GE_OQ computes thr >= x per lane, which is exactly the
+// scalar "x <= thr" -- including NaN (unordered compares false, routing
+// right, as the scalar walk does) -- so unlike the portable kernel's
+// sign-bit trick the sweep needs no input sanitization.
+
+// sweepArgs is the single-pointer argument block for forestSweep. Field
+// offsets are hard-coded in sweep_amd64.s -- keep layout in sync.
+type sweepArgs struct {
+	inodes     unsafe.Pointer // *uint64: internal-node stream (sweepNodes)
+	ithr       unsafe.Pointer // *float64: internal-node thresholds (sweepThr)
+	lpairs     unsafe.Pointer // *uint64: leaf stream (sweepLeaves)
+	reach      unsafe.Pointer // *uint64: per-node lane masks, maxTreeNodes
+	x          unsafe.Pointer // *float64: feature-major block, width x 64
+	classMasks unsafe.Pointer // *uint64: per-class leaf-lane masks (asm-cleared)
+	votes      unsafe.Pointer // *uint8: per-class 64-lane byte counters, nc*64
+	istarts    unsafe.Pointer // *int32: per-tree offsets into inodes/ithr, nt+1
+	lstarts    unsafe.Pointer // *int32: per-tree offsets into lpairs, nt+1
+	nt         int64          // tree count
+	live       int64          // live-lane mask for this chunk
+	shift      int64          // child-field shift in the routing word
+	featMask   int64          // (1<<shift)-1: masks out the feature byte offset
+	nc         int64          // class count
+}
+
+func growU64(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}
+
+func growU8(s []uint8, n int) []uint8 {
+	if cap(s) < n {
+		return make([]uint8, n)
+	}
+	return s[:n]
+}
+
+// sweepEnabled gates dispatch to the assembly kernel; tests flip it off to
+// exercise the portable kernel on AVX-512 hardware too.
+var sweepEnabled = true
+
+// useSweep reports whether VotesBatch should take the reach-mask kernel.
+// The per-lane vote counters are bytes, so the sweep serves forests of up
+// to 255 trees (far above the paper's K=80); larger ensembles take the
+// portable kernel.
+func (f *Forest) useSweep() bool {
+	return sweepEnabled && haveAVX512 && f.istarts != nil && f.NumTrees() <= 255
+}
+
+// votesSweep services VotesBatch through the reach-mask kernel in 64-lane
+// chunks. dst must be zeroed m*nc, sample-major, exactly as votesBatch
+// expects it.
+//
+// Vote accumulation happens inside the kernel: after routing a tree it
+// expands each class's leaf-lane mask to 64 bytes and adds it into a
+// per-class byte counter row (VPMOVM2B + VPSUBB), then clears the mask
+// for the next tree. The Go side only transposes the chunk, loops trees,
+// and copies the byte counters out -- no per-(tree,class) work, which
+// would otherwise rival the sweep itself at realistic class counts.
+func (f *Forest) votesSweep(dst []int32, vecs [][]float64, sc *BatchScratch) {
+	w := f.width
+	nc := len(f.classes)
+	nt := f.NumTrees()
+	sc.xT = growF64(sc.xT, w*64)
+	sc.reach = growU64(sc.reach, f.maxTreeNodes)
+	sc.cmask = growU64(sc.cmask, nc)
+	sc.votes8 = growU8(sc.votes8, nc*64)
+	xT, reach, cmask, votes8 := sc.xT, sc.reach, sc.cmask, sc.votes8
+
+	// A model can in principle have internal-only or leaf-only streams
+	// empty (single-leaf trees have no internal nodes); keep the pointers
+	// valid either way.
+	var inodes *uint64
+	var ithr *float64
+	if len(f.sweepNodes) > 0 {
+		inodes = &f.sweepNodes[0]
+		ithr = &f.sweepThr[0]
+	}
+	args := sweepArgs{
+		inodes:     unsafe.Pointer(inodes),
+		ithr:       unsafe.Pointer(ithr),
+		lpairs:     unsafe.Pointer(&f.sweepLeaves[0]),
+		reach:      unsafe.Pointer(&reach[0]),
+		x:          unsafe.Pointer(&xT[0]),
+		classMasks: unsafe.Pointer(&cmask[0]),
+		votes:      unsafe.Pointer(&votes8[0]),
+		istarts:    unsafe.Pointer(&f.istarts[0]),
+		lstarts:    unsafe.Pointer(&f.lstarts[0]),
+		nt:         int64(nt),
+		shift:      int64(f.sweepShift),
+		featMask:   int64(1)<<f.sweepShift - 1,
+		nc:         int64(nc),
+	}
+
+	// The kernel leaves classMasks zeroed behind itself; it only needs to
+	// start zero, which growU64's fresh allocation guarantees and every
+	// sweep re-establishes.
+	for base := 0; base < len(vecs); base += 64 {
+		chunk := vecs[base:min(base+64, len(vecs))]
+
+		// Transpose the chunk feature-major: xT[d*64+ln] = chunk[ln][d].
+		// Short vectors stay out of the live mask; their xT rows keep
+		// stale values, which the reach masks keep out of every result.
+		var live uint64
+		for ln, v := range chunk {
+			if len(v) < w {
+				continue
+			}
+			live |= 1 << uint(ln)
+			for d := 0; d < w; d++ {
+				xT[d*64+ln] = v[d]
+			}
+		}
+		if live == 0 {
+			continue
+		}
+
+		for i := range votes8 {
+			votes8[i] = 0
+		}
+		args.live = int64(live)
+		forestSweep(&args)
+
+		for ln := range chunk {
+			if live&(1<<uint(ln)) == 0 {
+				continue
+			}
+			row := dst[(base+ln)*nc : (base+ln+1)*nc]
+			for c := 0; c < nc; c++ {
+				row[c] = int32(votes8[c*64+ln])
+			}
+		}
+	}
+	runtime.KeepAlive(f)
+	runtime.KeepAlive(sc)
+}

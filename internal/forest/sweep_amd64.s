@@ -1,0 +1,211 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func forestSweep(a *sweepArgs)
+//
+// Reach-mask sweep of every tree against a 64-lane feature block. Each
+// tree-local node has a 64-bit mask of the lanes occupying it; the root
+// starts with the chunk's live mask. Because the arena is breadth-first
+// (every parent precedes its children) a tree evaluates in two
+// straight-line passes with no data-dependent branch anywhere:
+//
+// Pass 1 streams the tree's internal nodes, packed at arena-build time
+// into (self index, routing word) pairs with a parallel threshold array
+// so every load is sequential. A node broadcasts its threshold and
+// compares it against all 64 lanes (8x VCMPPD, predicate GE_OQ: bit =
+// thr >= x, exactly the scalar walk's x <= thr including NaN -> right),
+// the 8-bit masks are packed into one 64-bit mask m, and the children's
+// reach is written as r&m / r&^m. Nodes reached by no lane (r == 0)
+// skip the compares and just write two empty children: that branch is
+// strongly biased per node position (a node is dead for the whole block
+// at once), and on realistic blocks -- cwnd-trace vectors of similar
+// flows follow similar paths -- well over half the internal nodes are
+// dead, which is where the sweep's headroom over a full scan comes from.
+//
+// Pass 2 streams the tree's leaves as (self index, label) pairs, ORing
+// each leaf's reach mask into classMasks[label]; unreached leaves skip
+// the OR to stay off the per-class read-modify-write chains.
+//
+// After each tree the class masks drain into per-lane byte vote counters
+// (VPMOVM2B + VPSUBB) and are cleared for the next tree.
+//
+// Register plan (pass 1):
+//   SI node-pair cursor  R10 end  DX threshold cursor  BX x
+//   R8 reach  CX shift  R13 featMask
+//   AX pair / word / scratch  R11 self, then left child
+//   R12 reach mask  BP x row  DI merged compare mask
+// The tree index t lives on the frame; per-tree state reloads from FP.
+TEXT ·forestSweep(SB), NOSPLIT, $8-8
+	MOVQ a+0(FP), AX
+	MOVQ 32(AX), BX         // x
+	MOVQ 24(AX), R8         // reach
+	MOVQ 88(AX), CX         // shift
+	MOVQ 96(AX), R13        // featMask
+	MOVQ $0, t-8(SP)
+
+tree_loop:
+	MOVQ a+0(FP), AX
+	MOVQ t-8(SP), R9
+	CMPQ R9, 72(AX)         // nt
+	JGE  all_done
+	MOVQ 80(AX), R11        // live
+	MOVQ R11, (R8)          // reach[root] = live
+	MOVQ 56(AX), SI         // istarts
+	MOVLQSX (SI)(R9*4), R12    // this tree's first internal node
+	MOVLQSX 4(SI)(R9*4), R10   // one past its last
+	// One induction variable serves both streams: SI becomes the
+	// negative byte offset from the shared end, counted up to zero, so
+	// the loop back-edge is a single fused add-and-branch.
+	SUBQ R10, R12
+	SHLQ $3, R12
+	MOVQ 8(AX), DX
+	LEAQ (DX)(R10*8), DX    // threshold end pointer
+	MOVQ 0(AX), SI
+	LEAQ (SI)(R10*8), R10   // node-pair end pointer
+	MOVQ R12, SI
+	TESTQ SI, SI
+	JZ   leaves
+
+	// Keep the hot loop's branch targets off 32-byte boundary straddles
+	// and DSB-friendly.
+	PCALIGN $32
+
+pass1:
+	MOVQ (R10)(SI*1), AX    // low 32: self, high 32: routing word
+	VBROADCASTSD (DX)(SI*1), Z0
+	MOVL AX, R11            // self (zero-extends)
+	MOVQ (R8)(R11*8), R12   // r = reach[self]
+	SHRQ $32, AX            // routing word
+	MOVL AX, R11
+	SHRL CX, R11            // tree-local left child
+	// Dead subtree: no lane reaches this node, so both children get
+	// empty reach and the compares can be skipped. The branch is
+	// strongly biased per node position (a node is dead for a whole
+	// block at a time), and on clustered blocks -- the realistic case,
+	// where a chunk's vectors follow similar paths -- well over half the
+	// internal nodes are dead, so the saved compare/merge work far
+	// outweighs the occasional mispredict.
+	TESTQ R12, R12
+	JZ   dead
+	ANDL R13, AX            // feature byte-row offset (pre-scaled by 512)
+	LEAQ (BX)(AX*1), BP
+	VCMPPD $0x1D, (BP), Z0, K1     // lanes 0-7:   thr >= x
+	VCMPPD $0x1D, 64(BP), Z0, K2   // lanes 8-15
+	VCMPPD $0x1D, 128(BP), Z0, K3  // lanes 16-23
+	VCMPPD $0x1D, 192(BP), Z0, K4  // lanes 24-31
+	VCMPPD $0x1D, 256(BP), Z0, K5  // lanes 32-39
+	VCMPPD $0x1D, 320(BP), Z0, K6  // lanes 40-47
+	VCMPPD $0x1D, 384(BP), Z0, K7  // lanes 48-55
+	VCMPPD $0x1D, 448(BP), Z0, K0  // lanes 56-63 (K0 is a legal destination)
+	// Merge the eight 8-bit masks: one KUNPCKBW level in mask registers
+	// (4 ops), then a balanced KMOVW + shift/or tree in GPRs. Measured
+	// best on this generation: a full KUNPCK tree overloads the mask
+	// port the compares need, an all-GPR merge spends too many uops.
+	KUNPCKBW K1, K2, K1     // lanes 0-15
+	KUNPCKBW K3, K4, K3     // lanes 16-31
+	KUNPCKBW K5, K6, K5     // lanes 32-47
+	KUNPCKBW K7, K0, K7     // lanes 48-63
+	KMOVW K1, DI
+	KMOVW K3, AX
+	SHLQ $16, AX
+	ORQ  AX, DI
+	KMOVW K5, R9
+	KMOVW K7, AX
+	SHLQ $16, AX
+	ORQ  AX, R9
+	SHLQ $32, R9
+	ORQ  R9, DI             // all 64 lanes
+	MOVQ R12, AX
+	ANDQ DI, AX             // left reach = r & m
+	ANDNQ R12, DI, DI       // right reach = r &^ m
+	MOVQ AX, (R8)(R11*8)    // children are adjacent (BFS)
+	MOVQ DI, 8(R8)(R11*8)
+	ADDQ $8, SI
+	JNZ  pass1
+	JMP  leaves
+
+dead:
+	MOVQ $0, (R8)(R11*8)
+	MOVQ $0, 8(R8)(R11*8)
+	ADDQ $8, SI
+	JNZ  pass1
+
+leaves:
+	MOVQ a+0(FP), AX
+	MOVQ t-8(SP), R9
+	MOVQ 64(AX), SI         // lstarts
+	MOVLQSX (SI)(R9*4), R12
+	MOVLQSX 4(SI)(R9*4), R10
+	MOVQ 16(AX), SI         // lpairs
+	LEAQ (SI)(R10*8), R10   // end pointer
+	LEAQ (SI)(R12*8), SI    // leaf-pair cursor
+	MOVQ 40(AX), R9         // classMasks
+
+pass2:
+	CMPQ SI, R10
+	JGE  tree_done
+	MOVQ (SI), AX           // low 32: self, high 32: label
+	ADDQ $8, SI
+	MOVL AX, R11            // self
+	SHRQ $32, AX            // label
+	MOVQ (R8)(R11*8), R12
+	TESTQ R12, R12
+	JZ   pass2
+	ORQ  R12, (R9)(AX*8)
+	JMP  pass2
+
+tree_done:
+	// Accumulate this tree's class masks into the per-lane byte vote
+	// counters and clear the masks for the next tree: each set mask bit
+	// expands to a 0xFF (= -1) byte via VPMOVM2B, and VPSUBB turns that
+	// into +1 on the counter row. Unconditional per class -- a zero mask
+	// is a cheap no-op, and a skip branch here would be data-dependent.
+	MOVQ a+0(FP), AX
+	MOVQ 48(AX), DI         // votes byte counters
+	MOVQ 104(AX), R10       // nc
+	XORQ R11, R11
+
+votes_loop:
+	CMPQ R11, R10
+	JGE  next_tree
+	MOVQ (R9)(R11*8), AX
+	KMOVQ AX, K1
+	VPMOVM2B K1, Z1
+	MOVQ R11, AX
+	SHLQ $6, AX             // class row byte offset = c*64
+	VMOVDQU8 (DI)(AX*1), Z2
+	VPSUBB Z1, Z2, Z2
+	VMOVDQU8 Z2, (DI)(AX*1)
+	MOVQ $0, (R9)(R11*8)
+	INCQ R11
+	JMP  votes_loop
+
+next_tree:
+	MOVQ t-8(SP), R9
+	INCQ R9
+	MOVQ R9, t-8(SP)
+	JMP  tree_loop
+
+all_done:
+	VZEROUPPER
+	RET
+
+// func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package forest
+
+// The reach-mask sweep kernel is amd64-only; everywhere else VotesBatch
+// always takes the portable kernel in batch.go.
+const haveAVX512 = false
+
+func forestSweep(a *sweepArgs) {
+	panic("forest: forestSweep called without AVX-512")
+}

@@ -1,0 +1,135 @@
+package forest
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// forcePortable turns the assembly sweep off for the duration of a test so
+// the portable kernel keeps coverage on machines where the sweep would
+// otherwise service every batch call.
+func forcePortable(t *testing.T) {
+	t.Helper()
+	was := sweepEnabled
+	sweepEnabled = false
+	t.Cleanup(func() { sweepEnabled = was })
+}
+
+// TestPortableKernelMatchesScalar re-runs the batch/scalar contract with
+// the sweep kernel disabled, pinning the portable compaction kernel
+// against the scalar walk regardless of host CPU features.
+func TestPortableKernelMatchesScalar(t *testing.T) {
+	forcePortable(t)
+	ds := clusterDataset(t, 40, 301)
+	f := Train(ds, Config{Trees: 31, Subspace: 2, Seed: 302})
+	rng := rand.New(rand.NewSource(303))
+	for _, m := range []int{4, 8, 33, 64, 129} {
+		assertBatchMatchesScalar(t, f, randomBlock(rng, m, 3))
+	}
+}
+
+// TestSweepMatchesPortable pins the assembly reach-mask kernel against the
+// portable kernel bit for bit on hostile random blocks: every vote count
+// must agree. Skips on hardware without AVX-512 (the dispatcher never
+// takes the sweep there).
+func TestSweepMatchesPortable(t *testing.T) {
+	if !haveAVX512 || !sweepEnabled {
+		t.Skip("sweep kernel not available on this host")
+	}
+	ds := clusterDataset(t, 50, 311)
+	f := Train(ds, Config{Trees: 81, Subspace: 2, Seed: 312})
+	if !f.useSweep() {
+		t.Fatal("trained model must dispatch to the sweep kernel")
+	}
+	rng := rand.New(rand.NewSource(313))
+	nc := f.NumClasses()
+	for _, m := range []int{4, 17, 63, 64, 65, 128, 200} {
+		vecs := randomBlock(rng, m, 3)
+		got := f.VotesBatch(nil, vecs, nil)
+		sweepEnabled = false
+		want := f.VotesBatch(nil, vecs, nil)
+		sweepEnabled = true
+		for i := 0; i < m*nc; i++ {
+			if got[i] != want[i] {
+				t.Fatalf("m=%d vec %d class %d: sweep votes %d != portable %d",
+					m, i/nc, i%nc, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSweepArenaInvariants checks the split-stream encoding the assembly
+// kernel consumes: every node of every tree appears exactly once in the
+// internal or the leaf stream in breadth-first order, the routing word
+// recovers the scalar arena's feature, threshold and (adjacent) children,
+// and the leaf pair recovers the label.
+func TestSweepArenaInvariants(t *testing.T) {
+	ds := clusterDataset(t, 30, 321)
+	f := Train(ds, Config{Trees: 13, Subspace: 2, Seed: 322})
+	if f.istarts == nil {
+		t.Fatal("batchable model must carry the sweep arenas")
+	}
+	if len(f.sweepNodes) != len(f.sweepThr) {
+		t.Fatalf("sweepNodes len %d != sweepThr len %d", len(f.sweepNodes), len(f.sweepThr))
+	}
+	if len(f.sweepNodes)+len(f.sweepLeaves) != len(f.feat) {
+		t.Fatalf("streams hold %d+%d nodes, arena has %d",
+			len(f.sweepNodes), len(f.sweepLeaves), len(f.feat))
+	}
+	maxTree := 0
+	for tr := 0; tr < f.NumTrees(); tr++ {
+		root := f.starts[tr]
+		n := f.starts[tr+1] - root
+		if int(n) > maxTree {
+			maxTree = int(n)
+		}
+		in := f.sweepNodes[f.istarts[tr]:f.istarts[tr+1]]
+		thr := f.sweepThr[f.istarts[tr]:f.istarts[tr+1]]
+		lv := f.sweepLeaves[f.lstarts[tr]:f.lstarts[tr+1]]
+		if len(in)+len(lv) != int(n) {
+			t.Fatalf("tree %d: %d internal + %d leaves != %d nodes", tr, len(in), len(lv), n)
+		}
+		prev := int32(-1)
+		for k, p := range in {
+			j := int32(uint32(p))
+			word := uint32(p >> 32)
+			if j <= prev {
+				t.Fatalf("tree %d: internal stream not in BFS order at %d", tr, k)
+			}
+			prev = j
+			i := root + j
+			if f.feat[i] < 0 {
+				t.Fatalf("tree %d: leaf %d in internal stream", tr, i)
+			}
+			if int32(word&(1<<f.sweepShift-1)) != f.feat[i]<<9 {
+				t.Fatalf("internal %d: word offset %d != feature %d * 512",
+					i, word&(1<<f.sweepShift-1), f.feat[i])
+			}
+			kid := int32(word >> f.sweepShift)
+			if root+kid != f.kids[2*i] || root+kid+1 != f.kids[2*i+1] {
+				t.Fatalf("internal %d: word child %d does not match kids (%d,%d) at root %d",
+					i, kid, f.kids[2*i], f.kids[2*i+1], root)
+			}
+			if kid >= n {
+				t.Fatalf("internal %d: tree-local child %d out of tree (n=%d)", i, kid, n)
+			}
+			if thr[k] != f.thr[i] {
+				t.Fatalf("internal %d: sweep threshold %v != %v", i, thr[k], f.thr[i])
+			}
+		}
+		for _, p := range lv {
+			j := int32(uint32(p))
+			label := int32(p >> 32)
+			i := root + j
+			if f.feat[i] >= 0 {
+				t.Fatalf("tree %d: internal node %d in leaf stream", tr, i)
+			}
+			if label != f.labels[i] {
+				t.Fatalf("leaf %d: stream label %d != %d", i, label, f.labels[i])
+			}
+		}
+	}
+	if f.maxTreeNodes != maxTree {
+		t.Fatalf("maxTreeNodes %d, want %d", f.maxTreeNodes, maxTree)
+	}
+}

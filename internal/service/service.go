@@ -295,6 +295,23 @@ func (c countingIdentifier) Identify(server *websim.Server, cond netem.Condition
 	return c.id.Identify(server, cond, cfg, rng)
 }
 
+// countingBlock is countingIdentifier for the block-inference path: the
+// gauge brackets each probe (the long-running unit), not the flush.
+type countingBlock struct {
+	bs engine.BlockIdentifier[core.Identification]
+	m  *metrics
+}
+
+func (c countingBlock) Gather(tag int, server *websim.Server, cond netem.Condition, cfg probe.Config, rng *rand.Rand) {
+	c.m.inFlight.Add(1)
+	defer c.m.inFlight.Add(-1)
+	c.bs.Gather(tag, server, cond, cfg, rng)
+}
+
+func (c countingBlock) Buffered() int { return c.bs.Buffered() }
+
+func (c countingBlock) Flush(emit func(tag int, out core.Identification)) { c.bs.Flush(emit) }
+
 // validateBatch resolves the model and pre-validates every job spec so a
 // malformed batch is rejected at submission time, not mid-run.
 func (s *Service) validateBatch(req BatchRequest) error {
@@ -319,8 +336,9 @@ func (s *Service) validateBatch(req BatchRequest) error {
 }
 
 // runBatch executes one accepted batch job: cached specs are answered
-// from memory, the rest go through engine.IdentifyBatch on the worker
-// pool, streaming per-probe completions into the job's progress counter.
+// from memory, the rest coalesce into inference blocks through
+// engine.IdentifyBatch on the worker pool, streaming completions into the
+// job's progress counter one block at a time.
 func (s *Service) runBatch(j *job) {
 	model, err := s.registry.Get(j.model)
 	if err != nil {
@@ -371,13 +389,18 @@ func (s *Service) runBatch(j *job) {
 	}
 
 	if len(engineJobs) > 0 {
+		// Coalesced misses run as block inference: each pool worker gathers
+		// its probes into a block session and the model classifies whole
+		// blocks at once. The synchronous /v1/identify path stays scalar --
+		// a single interactive request should never wait for a block to
+		// fill (and with one vector there is nothing to batch).
 		id := countingIdentifier{id: model.Identifier(), m: s.metrics}
 		engine.IdentifyBatch[core.Identification](id, engineJobs, engine.BatchConfig[core.Identification]{
 			Ctx:         j.ctx,
 			Parallelism: s.cfg.Parallelism,
 			Probe:       s.cfg.Probe,
-			NewWorkerIdentifier: func() engine.Identifier[core.Identification] {
-				return countingIdentifier{id: model.Identifier().NewSession(), m: s.metrics}
+			NewWorkerBlock: func() engine.BlockIdentifier[core.Identification] {
+				return countingBlock{bs: model.Identifier().NewBlockSession(), m: s.metrics}
 			},
 			OnResult: func(r engine.Result[core.Identification]) {
 				g := groups[r.Index]

@@ -38,3 +38,9 @@ func (s *source) Seed(seed int64) { s.state = uint64(seed) }
 
 // New returns a *rand.Rand over a SplitMix64 source seeded with seed.
 func New(seed int64) *rand.Rand { return rand.New(&source{state: uint64(seed)}) }
+
+// Reseed rewinds r -- which must come from New -- to the exact stream
+// New(seed) produces. Per-job paths (the engine's batch workers) keep one
+// RNG per worker and reseed it between jobs instead of paying New's two
+// allocations per job.
+func Reseed(r *rand.Rand, seed int64) { r.Seed(seed) }
