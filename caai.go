@@ -75,6 +75,7 @@ import (
 	"repro/internal/ml"
 	"repro/internal/netem"
 	"repro/internal/probe"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/websim"
 )
@@ -116,8 +117,24 @@ type (
 	// CaptureStats summarizes one ingested packet capture.
 	CaptureStats = flow.CaptureStats
 	// CaptureOptions tunes capture ingestion (tracker bounds,
-	// classification parallelism).
+	// classification parallelism, optional per-stage span recording).
 	CaptureOptions = flow.IdentifyOptions
+	// StageTimings is one identification's per-stage wall-clock span
+	// breakdown (see Identification.Timings and IdentifyTimed); index it
+	// with the Stage* constants.
+	StageTimings = telemetry.StageTimings
+	// Stage indexes a StageTimings entry.
+	Stage = telemetry.Stage
+)
+
+// Pipeline stages re-exported for StageTimings consumers.
+const (
+	StageQueueWait = telemetry.StageQueueWait
+	StageGather    = telemetry.StageGather
+	StageFeature   = telemetry.StageFeature
+	StageClassify  = telemetry.StageClassify
+	StageCache     = telemetry.StageCache
+	NumStages      = telemetry.NumStages
 )
 
 // Labels re-exported from the pipeline.
@@ -212,6 +229,16 @@ func (id *Identifier) Identify(server *Server, cond Condition, rng *rand.Rand) I
 // IdentifyWithConfig is Identify with a custom probe configuration.
 func (id *Identifier) IdentifyWithConfig(server *Server, cond Condition, cfg ProbeConfig, rng *rand.Rand) Identification {
 	return id.core.Identify(server, cond, cfg, rng)
+}
+
+// IdentifyTimed is Identify with per-stage span recording: the returned
+// Identification's Timings carries the gather / feature / classify
+// wall-clock breakdown (see cmd/caai-probe -timings). Results are
+// otherwise identical to Identify.
+func (id *Identifier) IdentifyTimed(server *Server, cond Condition, cfg ProbeConfig, rng *rand.Rand) Identification {
+	sess := id.core.NewSession()
+	sess.EnableTimings(nil)
+	return sess.Identify(server, cond, cfg, rng)
 }
 
 // IdentifyBatch probes every job on a bounded worker pool and returns the

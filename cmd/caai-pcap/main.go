@@ -45,6 +45,7 @@ func run(args []string, stdout io.Writer) error {
 	seed := fs.Int64("seed", 1, "random seed (training and -gen)")
 	jsonOut := fs.Bool("json", false, "emit JSON instead of the table")
 	parallelism := fs.Int("parallelism", 0, "classification parallelism (0 = all CPUs)")
+	timings := fs.Bool("timings", false, "record and report per-stage wall-clock timings (decode, feature, classify)")
 	maxFlows := fs.Int("max-flows", 0, "bound on concurrently tracked flows (0 = default)")
 	gen := fs.String("gen", "", "generate a synthetic capture for the comma-separated algorithms instead of ingesting one")
 	out := fs.String("o", "", "output file for -gen (default stdout)")
@@ -93,17 +94,38 @@ func run(args []string, stdout io.Writer) error {
 		r = f
 	}
 
-	opts := caai.CaptureOptions{Parallelism: *parallelism}
+	opts := caai.CaptureOptions{Parallelism: *parallelism, Timings: *timings}
 	opts.Tracker.MaxFlows = *maxFlows
 	pairs, stats, err := id.IdentifyCapture(r, opts)
 	if err != nil {
 		return err
 	}
 	if *jsonOut {
-		return writeJSON(stdout, pairs, stats)
+		return writeJSON(stdout, pairs, stats, *timings)
 	}
 	writeTable(stdout, pairs, stats)
+	if *timings {
+		writeTimingsSummary(stdout, pairs)
+	}
 	return nil
+}
+
+// writeTimingsSummary totals the per-stage spans over every classified
+// pair for the -timings table footer.
+func writeTimingsSummary(w io.Writer, pairs []caai.FlowIdentification) {
+	var total caai.StageTimings
+	for _, p := range pairs {
+		for s := 0; s < caai.NumStages; s++ {
+			total[s] += p.ID.Timings[s]
+		}
+	}
+	fmt.Fprintf(w, "\nstage timings over %d pair(s) (total %s):\n", len(pairs), total.Total())
+	for s := 0; s < caai.NumStages; s++ {
+		if total[s] == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %-10s %s\n", caai.Stage(s), total[s])
+	}
 }
 
 // loadOrTrain resolves the model exactly as caai-probe does: -model loads
@@ -192,7 +214,11 @@ type jsonResult struct {
 	Wmax       int       `json:"wmax,omitempty"`
 	MSS        int       `json:"mss,omitempty"`
 	Features   []float64 `json:"features,omitempty"`
-	Text       string    `json:"text"`
+	// Timings is the per-stage wall-clock breakdown in milliseconds,
+	// present only under -timings (keys follow internal/telemetry's stage
+	// names).
+	Timings map[string]float64 `json:"timings_ms,omitempty"`
+	Text    string             `json:"text"`
 }
 
 func toJSONResult(p caai.FlowIdentification) jsonResult {
@@ -223,10 +249,19 @@ func toJSONResult(p caai.FlowIdentification) jsonResult {
 	return out
 }
 
-func writeJSON(w io.Writer, pairs []caai.FlowIdentification, stats caai.CaptureStats) error {
+func writeJSON(w io.Writer, pairs []caai.FlowIdentification, stats caai.CaptureStats, timings bool) error {
 	results := make([]jsonResult, 0, len(pairs))
 	for _, p := range pairs {
-		results = append(results, toJSONResult(p))
+		jr := toJSONResult(p)
+		if timings {
+			jr.Timings = map[string]float64{}
+			for s := 0; s < caai.NumStages; s++ {
+				if d := p.ID.Timings[s]; d != 0 {
+					jr.Timings[caai.Stage(s).String()] = float64(d) / float64(time.Millisecond)
+				}
+			}
+		}
+		results = append(results, jr)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -43,6 +43,7 @@ func run(args []string, stdout io.Writer) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	model := fs.String("model", "", "load a saved model instead of retraining (see caai-train -save)")
 	backend := fs.String("classifier", "randomforest", "classifier backend ("+strings.Join(caai.ClassifierBackends(), ", ")+")")
+	timings := fs.Bool("timings", false, "print the per-stage wall-clock breakdown of the identification")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			fs.SetOutput(stdout)
@@ -96,7 +97,27 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "wmax: %d\n", wmax)
 	fmt.Fprintf(stdout, "features: %s\n", caai.ExtractFeatures(ta, tb))
 
-	result := id.Identify(server, cond, rand.New(rand.NewSource(*seed+1)))
+	var result caai.Identification
+	if *timings {
+		result = id.IdentifyTimed(server, cond, caai.ProbeConfig{}, rand.New(rand.NewSource(*seed+1)))
+	} else {
+		result = id.Identify(server, cond, rand.New(rand.NewSource(*seed+1)))
+	}
 	fmt.Fprintf(stdout, "\nidentification: %s\n", result)
+	if *timings {
+		printTimings(stdout, result.Timings)
+	}
 	return nil
+}
+
+// printTimings renders the recorded per-stage spans, skipping stages that
+// did not run (the CLI has no queue or cache).
+func printTimings(w io.Writer, tm caai.StageTimings) {
+	fmt.Fprintf(w, "\nstage timings (total %s):\n", tm.Total())
+	for s := 0; s < caai.NumStages; s++ {
+		if tm[s] == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %-10s %s\n", caai.Stage(s), tm[s])
+	}
 }

@@ -23,12 +23,15 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -93,6 +96,57 @@ func splitModelFlag(v string) (name, path string, err error) {
 	return strings.TrimSuffix(base, filepath.Ext(base)), v, nil
 }
 
+// requestSeq numbers generated request IDs process-wide.
+var requestSeq atomic.Int64
+
+// logRequestsMiddleware emits one structured log line per request:
+// method, matched route, status, duration, and a request ID. An inbound
+// X-Request-ID is honored (so IDs correlate across proxies); otherwise a
+// process-unique one is minted. Either way the ID is echoed on the
+// response for client-side correlation.
+func logRequestsMiddleware(log *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqID := r.Header.Get("X-Request-ID")
+		if reqID == "" {
+			reqID = fmt.Sprintf("req-%d", requestSeq.Add(1))
+		}
+		w.Header().Set("X-Request-ID", reqID)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		route := r.Pattern // stamped by the mux during routing
+		if route == "" {
+			route = r.URL.Path
+		}
+		log.Info("request",
+			"id", reqID,
+			"method", r.Method,
+			"route", route,
+			"status", rec.status,
+			"duration_ms", float64(time.Since(start))/float64(time.Millisecond),
+			"bytes", rec.bytes,
+		)
+	})
+}
+
+// statusRecorder captures the response status and body size for logging.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (s *statusRecorder) WriteHeader(code int) {
+	s.status = code
+	s.ResponseWriter.WriteHeader(code)
+}
+
+func (s *statusRecorder) Write(p []byte) (int, error) {
+	n, err := s.ResponseWriter.Write(p)
+	s.bytes += int64(n)
+	return n, err
+}
+
 // run is the testable body of the command: it serves until ctx is
 // cancelled (then shuts down gracefully) or the listener fails.
 func run(ctx context.Context, args []string, stdout io.Writer) error {
@@ -113,6 +167,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	maxBatch := fs.Int("max-batch", 0, "max jobs per POST /v1/batch (0 = default 10000)")
 	retain := fs.Int("retain", 0, "finished async jobs kept pollable before eviction (0 = default 256)")
 	evalPath := fs.String("eval", "", "ACCURACY_<n>.json file or history directory; the latest point's summary is exposed on GET /metrics")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof profiling handlers at /debug/pprof/ (opt-in: exposes goroutine and heap internals)")
+	logRequests := fs.Bool("log-requests", false, "log every request (method, route, status, duration, request ID) as structured slog lines on stderr")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			fs.SetOutput(stdout)
@@ -191,12 +247,33 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 			evalSummary.Label, evalSummary.OverallAccuracy*100)
 	}
 
+	handler := svc.Handler()
+	if *pprofOn {
+		// The API handler keeps the root; pprof mounts beside it on an
+		// explicit mux (not http.DefaultServeMux, which third-party imports
+		// can pollute).
+		root := http.NewServeMux()
+		root.Handle("/", handler)
+		root.HandleFunc("/debug/pprof/", pprof.Index)
+		root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		root.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		root.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = root
+	}
+	if *logRequests {
+		handler = logRequestsMiddleware(slog.New(slog.NewTextHandler(os.Stderr, nil)), handler)
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: svc.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	srv := &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second}
 	fmt.Fprintf(stdout, "caai-serve: listening on http://%s (models: %s)\n", ln.Addr(), strings.Join(reg.Names(), ", "))
+	if *pprofOn {
+		fmt.Fprintf(stdout, "caai-serve: pprof enabled at http://%s/debug/pprof/\n", ln.Addr())
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()

@@ -183,6 +183,10 @@ func History(dir string) ([]Point, error) {
 type Limits struct {
 	MaxAllocsPerOp *int64   `json:"max_allocs_per_op,omitempty"`
 	MaxNsPerOp     *float64 `json:"max_ns_per_op,omitempty"`
+	// MaxMetrics bounds b.ReportMetric extras by name (e.g. the telemetry
+	// suite's "overhead-%"). A budgeted metric the benchmark did not
+	// report is a violation, like a missing benchmark.
+	MaxMetrics map[string]float64 `json:"max_metrics,omitempty"`
 }
 
 // Budget maps suite benchmark names to their limits.
@@ -228,6 +232,21 @@ func (b Budget) Check(results []Result) []string {
 		}
 		if lim.MaxNsPerOp != nil && r.NsPerOp > *lim.MaxNsPerOp {
 			violations = append(violations, fmt.Sprintf("%s: %.0f ns/op exceeds budget %.0f", name, r.NsPerOp, *lim.MaxNsPerOp))
+		}
+		metricNames := make([]string, 0, len(lim.MaxMetrics))
+		for mn := range lim.MaxMetrics {
+			metricNames = append(metricNames, mn)
+		}
+		sort.Strings(metricNames)
+		for _, mn := range metricNames {
+			v, reported := r.Metrics[mn]
+			if !reported {
+				violations = append(violations, fmt.Sprintf("%s: budgeted metric %q was not reported", name, mn))
+				continue
+			}
+			if v > lim.MaxMetrics[mn] {
+				violations = append(violations, fmt.Sprintf("%s: %s = %.2f exceeds budget %.2f", name, mn, v, lim.MaxMetrics[mn]))
+			}
 		}
 	}
 	return violations

@@ -85,6 +85,28 @@ func TestBudgetCheck(t *testing.T) {
 	}
 }
 
+// TestBudgetCheckMetrics: a max_metrics bound is enforced against the
+// benchmark's ReportMetric extras, and a budgeted metric that was never
+// reported is a violation of its own (like a missing benchmark).
+func TestBudgetCheckMetrics(t *testing.T) {
+	b := Budget{"telemetry/overhead": {
+		MaxAllocsPerOp: allocLimit(0),
+		MaxMetrics:     map[string]float64{"overhead-%": 5},
+	}}
+	over := []Result{{Name: "telemetry/overhead", Metrics: map[string]float64{"overhead-%": 7.2}}}
+	if v := b.Check(over); len(v) != 1 || !strings.Contains(v[0], "overhead-%") {
+		t.Fatalf("7.2%% against a 5%% metric budget reported %v, want one violation", v)
+	}
+	missing := []Result{{Name: "telemetry/overhead"}}
+	if v := b.Check(missing); len(v) != 1 || !strings.Contains(v[0], "not reported") {
+		t.Fatalf("unreported budgeted metric reported %v, want one violation", v)
+	}
+	within := []Result{{Name: "telemetry/overhead", Metrics: map[string]float64{"overhead-%": 1.3}}}
+	if v := b.Check(within); len(v) != 0 {
+		t.Fatalf("within-budget metric reported %v", v)
+	}
+}
+
 // TestBudgetCheckZeroIsEnforced: an explicit 0 budget is a real limit —
 // the zero-allocation contracts are the whole point of the gate.
 func TestBudgetCheckZeroIsEnforced(t *testing.T) {

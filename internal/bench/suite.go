@@ -23,6 +23,7 @@ import (
 	"repro/internal/pcapgen"
 	"repro/internal/probe"
 	"repro/internal/service"
+	"repro/internal/telemetry"
 	"repro/internal/websim"
 )
 
@@ -43,6 +44,7 @@ func Suite(ctx *experiments.Context) ([]Case, error) {
 		{Name: "service/identify_hit", Bench: ServiceIdentify(model, false)},
 		{Name: "service/identify_miss", Bench: ServiceIdentify(model, true)},
 		{Name: "service/batch_blocks", Bench: ServiceBatchBlocks(model, 64)},
+		{Name: "telemetry/overhead", Bench: TelemetryOverhead(model)},
 	}
 	if f, ok := model.(*forest.Forest); ok {
 		cases = append([]Case{
@@ -330,6 +332,50 @@ func ServiceIdentify(model classify.Classifier, miss bool) func(*testing.B) {
 				b.Fatal("expected a cache hit")
 			}
 		}
+	}
+}
+
+// TelemetryOverhead pins the observability contract on the scalar
+// identify hot path: the timed op is a span-recording core.Session
+// identify feeding a live telemetry.Pipeline (the caai-serve
+// configuration); after the timed loop the same iteration count runs on
+// an untimed session and the relative slowdown lands in "overhead-%"
+// (clamped at zero -- scheduler noise can make the instrumented loop
+// come out faster). The budget holds this at 0 allocs/op and <= 5%.
+// Both sessions consume identical RNG streams, so the two loops do
+// byte-for-byte the same probing work.
+func TelemetryOverhead(model classify.Classifier) func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		id := core.NewIdentifier(model)
+		server := websim.Testbed("CUBIC2")
+		var tel telemetry.Pipeline
+		timed := id.NewSession()
+		timed.EnableTimings(&tel)
+		plain := id.NewSession()
+		rngTimed := rand.New(rand.NewSource(11))
+		rngPlain := rand.New(rand.NewSource(11))
+		timed.Identify(server, netem.Lossless, probe.Config{}, rngTimed)
+		plain.Identify(server, netem.Lossless, probe.Config{}, rngPlain)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			timed.Identify(server, netem.Lossless, probe.Config{}, rngTimed)
+		}
+		b.StopTimer()
+		enabled := b.Elapsed()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			plain.Identify(server, netem.Lossless, probe.Config{}, rngPlain)
+		}
+		baseline := time.Since(start)
+		overhead := 0.0
+		if baseline > 0 {
+			overhead = (float64(enabled)/float64(baseline) - 1) * 100
+		}
+		if overhead < 0 {
+			overhead = 0
+		}
+		b.ReportMetric(overhead, "overhead-%")
 	}
 }
 

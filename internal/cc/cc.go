@@ -53,7 +53,16 @@ type Conn struct {
 // NewConn returns connection state for a fresh connection with the standard
 // "infinite" initial slow start threshold and the given initial window.
 func NewConn(mss int, initialWindow float64) *Conn {
-	return &Conn{
+	c := new(Conn)
+	c.Reinit(mss, initialWindow)
+	return c
+}
+
+// Reinit rewinds c in place to exactly the state NewConn returns, so one
+// Conn allocation can serve a stream of sequential connections (the
+// zero-allocation identify hot path recycles the sender and its Conn).
+func (c *Conn) Reinit(mss int, initialWindow float64) {
+	*c = Conn{
 		Cwnd:     initialWindow,
 		Ssthresh: InitialSsthresh,
 		MSS:      mss,

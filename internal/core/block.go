@@ -3,12 +3,14 @@ package core
 import (
 	"context"
 	"math/rand"
+	"time"
 
 	"repro/internal/classify"
 	"repro/internal/engine"
 	"repro/internal/feature"
 	"repro/internal/netem"
 	"repro/internal/probe"
+	"repro/internal/telemetry"
 	"repro/internal/websim"
 )
 
@@ -36,6 +38,12 @@ type BlockSession struct {
 	vecs    [][]float64
 	labels  []string
 	confs   []float64
+
+	// record/tel mirror Session's span recording (see EnableTimings). A
+	// deferred sample's classify span is its share of the block's one
+	// batched call, stamped at Flush.
+	record bool
+	tel    *telemetry.Pipeline
 }
 
 // NewBlockSession returns a reusable block-inference pipeline bound to
@@ -59,6 +67,16 @@ func (id *Identifier) NewBlockSession() *BlockSession {
 	return bs
 }
 
+// EnableTimings turns on per-stage span recording, exactly as
+// Session.EnableTimings does for the scalar path: every emitted
+// Identification carries its gather / feature / classify spans in Timings,
+// and tel (when non-nil) aggregates them at Flush. A sample classified in
+// the block's batched call is charged an equal share of that one call.
+func (bs *BlockSession) EnableTimings(tel *telemetry.Pipeline) {
+	bs.record = true
+	bs.tel = tel
+}
+
 // Gather probes one server exactly as Session.Identify would -- same
 // prober reuse, same RNG stream -- and buffers the prepared outcome under
 // tag. Classification is deferred to Flush only when the backend has a
@@ -74,16 +92,25 @@ func (bs *BlockSession) Gather(tag int, server *websim.Server, cond netem.Condit
 	} else {
 		bs.p.Rearm(cfg, cond, rng)
 	}
+	var clock telemetry.SpanClock
+	var tm telemetry.StageTimings
+	if bs.record {
+		clock.Start()
+	}
 	res := bs.p.Gather(server)
+	clock.Lap(&tm, telemetry.StageGather)
 	out, need := prepareResult(res, &bs.sc)
+	clock.Lap(&tm, telemetry.StageFeature)
 	if need {
 		if bs.batch == nil {
 			label, conf := bs.id.model.Classify(out.Vector[:])
 			applyLabel(&out, label, conf)
+			clock.Lap(&tm, telemetry.StageClassify)
 		} else {
 			bs.pending = append(bs.pending, int32(len(bs.outs)))
 		}
 	}
+	out.Timings = tm
 	bs.tags = append(bs.tags, tag)
 	bs.outs = append(bs.outs, out)
 }
@@ -106,12 +133,24 @@ func (bs *BlockSession) Flush(emit func(tag int, out Identification)) {
 			bs.confs = make([]float64, n)
 		}
 		labels, confs := bs.labels[:n], bs.confs[:n]
+		var start time.Time
+		if bs.record {
+			start = time.Now()
+		}
 		bs.batch.ClassifyBatch(bs.vecs, labels, confs)
+		var share time.Duration
+		if bs.record {
+			share = time.Since(start) / time.Duration(n)
+		}
 		for i, k := range bs.pending {
 			applyLabel(&bs.outs[k], labels[i], confs[i])
+			bs.outs[k].Timings[telemetry.StageClassify] = share
 		}
 	}
 	for i := range bs.outs {
+		if bs.tel != nil {
+			bs.tel.ObserveTimings(&bs.outs[i].Timings)
+		}
 		emit(bs.tags[i], bs.outs[i])
 	}
 	bs.tags = bs.tags[:0]
@@ -135,11 +174,31 @@ func (id *Identifier) IdentifyResults(ress []*probe.Result) []Identification {
 // the samples already prepared are still classified and finished; the
 // rest stay zero. It returns ctx.Err() when cancelled.
 func (id *Identifier) IdentifyResultsCtx(ctx context.Context, ress []*probe.Result, parallelism int) ([]Identification, error) {
+	return id.identifyResults(ctx, ress, parallelism, false, nil)
+}
+
+// IdentifyResultsObserved is IdentifyResultsCtx with per-stage span
+// recording: every sample's feature and classify spans are stamped into
+// its Timings (classify as its share of the one batched model call), and
+// tel, when non-nil, aggregates them into per-stage histograms. The
+// passive path charges decode/reassembly to StageGather upstream of this
+// call (see internal/flow).
+func (id *Identifier) IdentifyResultsObserved(ctx context.Context, ress []*probe.Result, parallelism int, tel *telemetry.Pipeline) ([]Identification, error) {
+	return id.identifyResults(ctx, ress, parallelism, true, tel)
+}
+
+func (id *Identifier) identifyResults(ctx context.Context, ress []*probe.Result, parallelism int, record bool, tel *telemetry.Pipeline) ([]Identification, error) {
 	outs := make([]Identification, len(ress))
 	need := make([]bool, len(ress))
 	scratch := make([]feature.Scratch, engine.Workers(len(ress), parallelism))
 	err := engine.RunWorkers(ctx, len(ress), parallelism, func(w, i int) {
-		outs[i], need[i] = prepareResult(ress[i], &scratch[w])
+		if record {
+			start := time.Now()
+			outs[i], need[i] = prepareResult(ress[i], &scratch[w])
+			outs[i].Timings[telemetry.StageFeature] = time.Since(start)
+		} else {
+			outs[i], need[i] = prepareResult(ress[i], &scratch[w])
+		}
 	})
 	var idxs []int
 	var vecs [][]float64
@@ -152,9 +211,23 @@ func (id *Identifier) IdentifyResultsCtx(ctx context.Context, ress []*probe.Resu
 	if len(idxs) > 0 {
 		labels := make([]string, len(idxs))
 		confs := make([]float64, len(idxs))
+		var start time.Time
+		if record {
+			start = time.Now()
+		}
 		classify.Batch(id.model, vecs, labels, confs)
+		var share time.Duration
+		if record {
+			share = time.Since(start) / time.Duration(len(idxs))
+		}
 		for k, i := range idxs {
 			applyLabel(&outs[i], labels[k], confs[k])
+			outs[i].Timings[telemetry.StageClassify] = share
+		}
+	}
+	if tel != nil {
+		for i := range outs {
+			tel.ObserveTimings(&outs[i].Timings)
 		}
 	}
 	return outs, err

@@ -20,6 +20,7 @@ import (
 	"repro/internal/forest"
 	"repro/internal/netem"
 	"repro/internal/probe"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/websim"
 )
@@ -209,6 +210,12 @@ type Identification struct {
 	Reason probe.InvalidReason
 	// Elapsed is the simulated probing time.
 	Elapsed time.Duration
+	// Timings is the wall-clock per-stage span breakdown, stamped only by
+	// pipelines with span recording enabled (Session.EnableTimings,
+	// BlockSession.EnableTimings, IdentifyResultsObserved); zero
+	// otherwise. Unlike Elapsed -- which is simulated probe time -- these
+	// are real host-clock durations.
+	Timings telemetry.StageTimings
 }
 
 // String renders the identification outcome.

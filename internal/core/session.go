@@ -6,6 +6,7 @@ import (
 	"repro/internal/feature"
 	"repro/internal/netem"
 	"repro/internal/probe"
+	"repro/internal/telemetry"
 	"repro/internal/websim"
 )
 
@@ -24,14 +25,38 @@ type Session struct {
 	id *Identifier
 	p  *probe.Prober
 	sc feature.Scratch
+	// vec is the persistent classify input buffer: handing the model a
+	// session-owned slice (instead of slicing the result's Vector array)
+	// keeps the Identification itself from escaping through the
+	// interface call, which would cost one heap allocation per job.
+	vec []float64
+
+	// record enables per-stage span recording (see EnableTimings); tel,
+	// when additionally non-nil, aggregates every identification's spans
+	// into per-stage histograms. Both add no allocations to Identify --
+	// the span clock and timings are plain values on the session.
+	record bool
+	tel    *telemetry.Pipeline
 }
 
 // NewSession returns a reusable pipeline bound to this identifier's
 // classifier.
 func (id *Identifier) NewSession() *Session { return &Session{id: id} }
 
+// EnableTimings turns on per-stage span recording: every Identify stamps
+// gather / feature / classify wall-clock spans into the returned
+// Identification's Timings. tel, when non-nil, additionally aggregates
+// each span into its per-stage histogram. Recording costs a few monotonic
+// clock reads per identification and allocates nothing; a session that
+// never calls EnableTimings runs the exact pre-telemetry path.
+func (s *Session) EnableTimings(tel *telemetry.Pipeline) {
+	s.record = true
+	s.tel = tel
+}
+
 // Identify runs the full pipeline for one server, reusing the session's
-// scratch. It matches Identifier.Identify result-for-result.
+// scratch. It matches Identifier.Identify result-for-result (span
+// recording, when enabled, only fills Identification.Timings).
 func (s *Session) Identify(server *websim.Server, cond netem.Condition, cfg probe.Config, rng *rand.Rand) Identification {
 	if s.p == nil {
 		s.p = probe.New(cfg, cond, rng)
@@ -39,6 +64,40 @@ func (s *Session) Identify(server *websim.Server, cond netem.Condition, cfg prob
 	} else {
 		s.p.Rearm(cfg, cond, rng)
 	}
+	if !s.record {
+		res := s.p.Gather(server)
+		out, need := prepareResult(res, &s.sc)
+		if need {
+			s.classify(&out)
+		}
+		return out
+	}
+
+	var clock telemetry.SpanClock
+	var tm telemetry.StageTimings
+	clock.Start()
 	res := s.p.Gather(server)
-	return s.id.identifyResult(res, &s.sc)
+	clock.Lap(&tm, telemetry.StageGather)
+	out, need := prepareResult(res, &s.sc)
+	clock.Lap(&tm, telemetry.StageFeature)
+	if need {
+		s.classify(&out)
+		clock.Lap(&tm, telemetry.StageClassify)
+	}
+	out.Timings = tm
+	if s.tel != nil {
+		s.tel.ObserveTimings(&out.Timings)
+	}
+	return out
+}
+
+// classify finishes a prepared identification through the model, feeding
+// it the session-owned vector buffer (see the vec field).
+func (s *Session) classify(out *Identification) {
+	if s.vec == nil {
+		s.vec = make([]float64, len(out.Vector))
+	}
+	copy(s.vec, out.Vector[:])
+	label, conf := s.id.model.Classify(s.vec)
+	applyLabel(out, label, conf)
 }

@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"repro/internal/classify"
 	"repro/internal/core"
 	"repro/internal/pcap"
 	"repro/internal/probe"
+	"repro/internal/telemetry"
 )
 
 // IdentifyOptions tunes IdentifyCapture.
@@ -19,6 +21,13 @@ type IdentifyOptions struct {
 	// Parallelism bounds concurrent classification on the engine pool
 	// (0 = all CPUs).
 	Parallelism int
+	// Timings enables per-stage span recording: each pair's ID.Timings
+	// gets its feature/classify spans plus its share of decode+reassembly
+	// time under StageGather (the passive pipeline's gather).
+	Timings bool
+	// Telemetry, when non-nil, aggregates every pair's spans into
+	// per-stage histograms (implies Timings).
+	Telemetry *telemetry.Pipeline
 }
 
 // CaptureStats summarizes one ingested capture for callers and the
@@ -147,14 +156,51 @@ func Classify(pairs []FlowIdentification, model classify.Classifier, parallelism
 // calling goroutine, after the block classification, in pair order; a
 // cancelled run returns ctx's error without invoking it.
 func ClassifyCtx(ctx context.Context, pairs []FlowIdentification, model classify.Classifier, parallelism int, onResult func(i int)) error {
+	return ClassifyAll(ctx, pairs, model, ClassifyOptions{Parallelism: parallelism, OnResult: onResult})
+}
+
+// ClassifyOptions tunes ClassifyAll.
+type ClassifyOptions struct {
+	// Parallelism bounds the preparation fan-out (0 = all CPUs).
+	Parallelism int
+	// Timings enables per-pair span recording into ID.Timings.
+	Timings bool
+	// Telemetry, when non-nil, aggregates every pair's spans into
+	// per-stage histograms (implies Timings).
+	Telemetry *telemetry.Pipeline
+	// GatherSpan is the wall-clock cost of decode+reassembly for the
+	// capture these pairs came from; span recording charges each pair an
+	// equal share of it under StageGather.
+	GatherSpan time.Duration
+	// OnResult, when non-nil, runs serially in pair order after each
+	// pair's ID is filled.
+	OnResult func(i int)
+}
+
+// ClassifyAll is the full-control classification entry point: ClassifyCtx
+// plus optional per-stage span recording (see ClassifyOptions).
+func ClassifyAll(ctx context.Context, pairs []FlowIdentification, model classify.Classifier, opts ClassifyOptions) error {
 	id := core.NewIdentifier(model)
 	ress := make([]*probe.Result, len(pairs))
 	for i := range pairs {
 		ress[i] = pairResult(&pairs[i])
 	}
-	outs, err := id.IdentifyResultsCtx(ctx, ress, parallelism)
+	record := opts.Timings || opts.Telemetry != nil
+	var outs []core.Identification
+	var err error
+	if record {
+		// Telemetry aggregation is deferred below so the gather share is
+		// included in the histograms.
+		outs, err = id.IdentifyResultsObserved(ctx, ress, opts.Parallelism, nil)
+	} else {
+		outs, err = id.IdentifyResultsCtx(ctx, ress, opts.Parallelism)
+	}
 	if err != nil {
 		return err
+	}
+	var gatherShare time.Duration
+	if record && len(pairs) > 0 {
+		gatherShare = opts.GatherSpan / time.Duration(len(pairs))
 	}
 	for i := range pairs {
 		out := outs[i]
@@ -162,9 +208,15 @@ func ClassifyCtx(ctx context.Context, pairs []FlowIdentification, model classify
 		if pairs[i].B != nil {
 			out.Elapsed += pairs[i].B.End.Sub(pairs[i].B.Start)
 		}
+		if record {
+			out.Timings[telemetry.StageGather] = gatherShare
+			if opts.Telemetry != nil {
+				opts.Telemetry.ObserveTimings(&out.Timings)
+			}
+		}
 		pairs[i].ID = out
-		if onResult != nil {
-			onResult(i)
+		if opts.OnResult != nil {
+			opts.OnResult(i)
 		}
 	}
 	return nil
@@ -204,11 +256,28 @@ func pairResult(p *FlowIdentification) *probe.Result {
 // reconstruct flows, pair them, and classify every pair with model. The
 // capture is streamed; memory stays bounded regardless of its size.
 func IdentifyCapture(r io.Reader, model classify.Classifier, opts IdentifyOptions) ([]FlowIdentification, CaptureStats, error) {
+	record := opts.Timings || opts.Telemetry != nil
+	var start time.Time
+	if record {
+		start = time.Now()
+	}
 	flows, stats, err := Reassemble(r, opts.Tracker)
 	if err != nil {
 		return nil, stats, fmt.Errorf("flow: decoding capture: %w", err)
 	}
+	var gather time.Duration
+	if record {
+		gather = time.Since(start)
+	}
 	pairs := Pair(flows)
-	Classify(pairs, model, opts.Parallelism)
+	cerr := ClassifyAll(context.Background(), pairs, model, ClassifyOptions{
+		Parallelism: opts.Parallelism,
+		Timings:     opts.Timings,
+		Telemetry:   opts.Telemetry,
+		GatherSpan:  gather,
+	})
+	if cerr != nil {
+		return pairs, stats, cerr
+	}
 	return pairs, stats, nil
 }

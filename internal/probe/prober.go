@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/netem"
+	"repro/internal/tcpsim"
 	"repro/internal/trace"
 	"repro/internal/websim"
 )
@@ -125,9 +126,13 @@ type Prober struct {
 	// across gatherings regardless of the reuse mode below).
 	sess session
 	// reuse, when set, makes gatherings record into the prober-owned
-	// recorders below instead of allocating fresh traces (see Reuse).
+	// recorders below instead of allocating fresh traces, open
+	// connections through the recycling dialer, and return the
+	// prober-owned res (see Reuse).
 	reuse      bool
 	recA, recB trace.Recorder
+	dialer     websim.Dialer
+	res        Result
 	// tap, when set, observes every gathering at the wire level (see
 	// SetTap); it survives Rearm so a capture can span many gatherings.
 	tap Tap
@@ -138,13 +143,15 @@ func New(cfg Config, cond netem.Condition, rng *rand.Rand) *Prober {
 	return &Prober{cfg: cfg.withDefaults(), cond: cond, rng: rng}
 }
 
-// Reuse opts the prober into trace-buffer reuse: each environment records
-// into a prober-owned trace whose window buffers are recycled across
-// gatherings. The traces returned by Gather/GatherEnv then stay valid only
-// until the prober's next gathering of the same environment — the contract
-// the batch identification hot path relies on for zero steady-state
-// allocations. Leave it off (the default) when gathered traces must
-// outlive the next probe.
+// Reuse opts the prober into buffer reuse: each environment records into a
+// prober-owned trace whose window buffers are recycled across gatherings,
+// connections are opened through a recycling dialer (one sender renewed in
+// place, congestion avoidance components cached per algorithm and rewound
+// with Reset), and Gather returns a prober-owned Result. Everything Gather
+// and GatherEnv return then stays valid only until the prober's next
+// gathering — the contract the identification hot path relies on for zero
+// steady-state allocations. Leave it off (the default) when gathered
+// traces or results must outlive the next probe.
 func (p *Prober) Reuse() { p.reuse = true }
 
 // Rearm re-points the prober at a new configuration, network condition,
@@ -199,7 +206,13 @@ func (p *Prober) findPage(server *websim.Server) int64 {
 // and mss, using page bytes of data per request. It is the building block
 // Fig. 3 uses directly.
 func (p *Prober) GatherEnv(server *websim.Server, env Environment, wmax, mss int, pageBytes int64) (*trace.Trace, error) {
-	sender, err := server.Open(mss, p.cfg.Requests, pageBytes, p.clock)
+	var sender *tcpsim.Sender
+	var err error
+	if p.reuse {
+		sender, err = p.dialer.Open(server, mss, p.cfg.Requests, pageBytes, p.clock)
+	} else {
+		sender, err = server.Open(mss, p.cfg.Requests, pageBytes, p.clock)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -228,18 +241,19 @@ func (p *Prober) GatherEnv(server *websim.Server, env Environment, wmax, mss int
 }
 
 // Gather walks the wmax ladder, gathering environment A and B traces, and
-// returns the first valid pair.
+// returns the first valid pair. In Reuse mode the returned Result is
+// prober-owned and valid only until the next Gather.
 func (p *Prober) Gather(server *websim.Server) *Result {
 	mss, ok := p.negotiateMSS(server)
 	if !ok {
-		return &Result{Reason: ReasonMSSRejected}
+		return p.result(Result{Reason: ReasonMSSRejected})
 	}
 	page := p.findPage(server)
 	reason := ReasonInsufficientData
 	for _, wmax := range p.cfg.WmaxLadder {
 		ta, err := p.GatherEnv(server, EnvA(), wmax, mss, page)
 		if err != nil {
-			return &Result{Reason: ReasonMSSRejected, MSS: mss}
+			return p.result(Result{Reason: ReasonMSSRejected, MSS: mss})
 		}
 		if !ta.Valid() {
 			reason = invalidReason(ta)
@@ -248,22 +262,33 @@ func (p *Prober) Gather(server *websim.Server) *Result {
 		p.clock += p.cfg.InterEnvWait
 		tb, err := p.GatherEnv(server, EnvB(), wmax, mss, page)
 		if err != nil {
-			return &Result{Reason: ReasonMSSRejected, MSS: mss}
+			return p.result(Result{Reason: ReasonMSSRejected, MSS: mss})
 		}
 		if tb.TimedOut && !tb.Valid() {
 			reason = invalidReason(tb)
 			continue
 		}
-		return &Result{
+		return p.result(Result{
 			TraceA:    ta,
 			TraceB:    tb,
 			Wmax:      wmax,
 			MSS:       mss,
 			PageBytes: page,
 			Valid:     true,
-		}
+		})
 	}
-	return &Result{MSS: mss, PageBytes: page, Reason: reason}
+	return p.result(Result{MSS: mss, PageBytes: page, Reason: reason})
+}
+
+// result returns r as a pointer: a fresh allocation normally, the recycled
+// prober-owned Result in Reuse mode.
+func (p *Prober) result(r Result) *Result {
+	if !p.reuse {
+		out := r
+		return &out
+	}
+	p.res = r
+	return &p.res
 }
 
 // invalidReason maps a failed trace to its census bucket.

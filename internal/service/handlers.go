@@ -7,6 +7,9 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Handler returns the service's HTTP API:
@@ -19,7 +22,8 @@ import (
 //	GET  /v1/models         list registered models
 //	POST /v1/models/reload  hot-swap file-backed models from disk
 //	GET  /healthz           liveness + model inventory
-//	GET  /metrics           service counters (JSON)
+//	GET  /metrics           service counters (JSON; Prometheus text with
+//	                        ?format=prometheus or Accept: text/plain)
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/identify", s.handleIdentify)
@@ -34,11 +38,21 @@ func (s *Service) Handler() http.Handler {
 	return s.countRequests(mux)
 }
 
-// countRequests feeds the requests_total counter.
+// countRequests feeds the requests_total counter and the per-endpoint
+// latency histograms. The route pattern is read back from the request
+// after the mux matched it (the mux stamps r.Pattern on the same request
+// value), so every histogram is keyed by route shape, not raw path;
+// unmatched requests pool under "other".
 func (s *Service) countRequests(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.requests.Add(1)
+		start := time.Now()
 		next.ServeHTTP(w, r)
+		pattern := r.Pattern
+		if pattern == "" {
+			pattern = "other"
+		}
+		s.metrics.observeEndpoint(pattern, time.Since(start))
 	})
 }
 
@@ -221,6 +235,12 @@ func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsPrometheus(r.URL.Query().Get("format"), r.Header.Get("Accept")) {
+		w.Header().Set("Content-Type", telemetry.PromContentType)
+		w.WriteHeader(http.StatusOK)
+		_ = s.writePrometheus(w)
+		return
+	}
 	writeJSON(w, http.StatusOK, s.snapshot())
 }

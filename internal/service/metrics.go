@@ -5,7 +5,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/telemetry"
 )
 
 // metrics aggregates the service counters exposed at GET /metrics. All
@@ -27,6 +29,38 @@ type metrics struct {
 	pcapFlowsSeen         atomic.Int64 // TCP flows reassembled from uploads
 	pcapFlowsClassifiable atomic.Int64 // flows that yielded a valid trace
 	pcapDecodeErrors      atomic.Int64 // uploads rejected as undecodable
+	pcapBytes             atomic.Int64 // capture bytes ingested (throughput numerator)
+	// pcapDecode observes each upload's decode+reassembly wall clock (the
+	// throughput denominator, and the passive pipeline's gather latency at
+	// upload granularity).
+	pcapDecode telemetry.Histogram
+
+	// Outcome-class counters, one per identification, mirroring
+	// internal/eval's accounting classes so /metrics and the evaluation
+	// matrix slice results the same way. Exactly one of these increments
+	// per identification; labeled covers confident labels (eval's
+	// correct+wrong -- the service has no ground truth to split them).
+	outcomeLabeled atomic.Int64
+	outcomeUnsure  atomic.Int64
+	outcomeSpecial atomic.Int64
+	outcomeInvalid atomic.Int64
+
+	// pipeline aggregates per-stage spans (queue wait, gather, feature,
+	// classify, cache) from every recording path: sync identifies, batch
+	// workers' block sessions, and pcap classification.
+	pipeline telemetry.Pipeline
+
+	// endpoints maps the matched route pattern -> *telemetry.Histogram of
+	// request latency. Same sync.Map rationale as labels: a tiny key set
+	// that stabilizes immediately.
+	endpoints sync.Map
+
+	// queueHighWater tracks the deepest the batch queue has been;
+	// workersBusy counts workers currently executing a job;
+	// finishedRetained is the finished-job retention window's occupancy.
+	queueHighWater   telemetry.Gauge
+	workersBusy      telemetry.Gauge
+	finishedRetained telemetry.Gauge
 
 	// labels maps reported label -> *atomic.Int64. The label set is tiny
 	// and stabilizes after warm-up, which is sync.Map's sweet spot: the
@@ -42,21 +76,48 @@ func newMetrics() *metrics {
 }
 
 // countLabel tallies one identification outcome under its reported label
-// (special shapes and invalid traces get their own buckets). Lock-free on
-// the request path once a label's counter exists.
+// (special shapes and invalid traces get their own buckets) and under its
+// outcome class. Lock-free on the request path once a label's counter
+// exists.
 func (m *metrics) countLabel(resp IdentifyResponse) {
 	label := resp.Label
 	switch {
 	case !resp.Valid:
 		label = "INVALID"
+		m.outcomeInvalid.Add(1)
 	case resp.Special != "":
 		label = "SPECIAL:" + resp.Special
+		m.outcomeSpecial.Add(1)
+	case resp.Label == core.LabelUnsure:
+		m.outcomeUnsure.Add(1)
+	default:
+		m.outcomeLabeled.Add(1)
 	}
 	c, ok := m.labels.Load(label)
 	if !ok {
 		c, _ = m.labels.LoadOrStore(label, new(atomic.Int64))
 	}
 	c.(*atomic.Int64).Add(1)
+}
+
+// observeEndpoint records one request's latency under its matched route
+// pattern.
+func (m *metrics) observeEndpoint(pattern string, d time.Duration) {
+	h, ok := m.endpoints.Load(pattern)
+	if !ok {
+		h, _ = m.endpoints.LoadOrStore(pattern, new(telemetry.Histogram))
+	}
+	h.(*telemetry.Histogram).Observe(d)
+}
+
+// endpointSnapshots copies every endpoint histogram, keyed by pattern.
+func (m *metrics) endpointSnapshots() map[string]telemetry.HistogramSnapshot {
+	out := map[string]telemetry.HistogramSnapshot{}
+	m.endpoints.Range(func(k, v any) bool {
+		out[k.(string)] = v.(*telemetry.Histogram).Snapshot()
+		return true
+	})
+	return out
 }
 
 // MetricsSnapshot is the GET /metrics response body.
@@ -80,15 +141,47 @@ type MetricsSnapshot struct {
 		Max     int     `json:"max_entries"`
 	} `json:"cache"`
 
+	// QueueHighWater is the deepest the batch queue has been since start;
+	// WorkersBusy counts workers currently executing a job;
+	// FinishedRetained is how many finished jobs the retention window
+	// currently keeps pollable (bounded by the JobRetention config).
+	QueueHighWater   int64 `json:"queue_high_water"`
+	WorkersBusy      int64 `json:"workers_busy"`
+	FinishedRetained int64 `json:"finished_jobs_retained"`
+
+	// Outcomes classifies every identification into exactly one bucket,
+	// mirroring internal/eval's accounting classes. Labeled is a confident
+	// algorithm label (eval's correct+wrong; the service holds no ground
+	// truth to split them), Unsure the <40%-confidence verdict, Special a
+	// special trace shape, Invalid a trace the prober rejected. Their sum
+	// equals identifications_total.
+	Outcomes struct {
+		Labeled int64 `json:"labeled"`
+		Unsure  int64 `json:"unsure"`
+		Special int64 `json:"special"`
+		Invalid int64 `json:"invalid"`
+	} `json:"outcomes"`
+
 	// Pcap reports capture-ingestion health: how many uploads arrived,
 	// how many flows they held, how many of those reconstructed to
-	// classifiable traces, and how many uploads failed to decode.
+	// classifiable traces, how many uploads failed to decode, and the
+	// ingested byte/decode-time totals (their ratio is ingest throughput).
 	Pcap struct {
-		Uploads      int64 `json:"uploads"`
-		FlowsSeen    int64 `json:"flows_seen"`
-		Classifiable int64 `json:"flows_classifiable"`
-		DecodeErrors int64 `json:"decode_errors"`
+		Uploads      int64   `json:"uploads"`
+		FlowsSeen    int64   `json:"flows_seen"`
+		Classifiable int64   `json:"flows_classifiable"`
+		DecodeErrors int64   `json:"decode_errors"`
+		Bytes        int64   `json:"bytes"`
+		DecodeMs     float64 `json:"decode_ms"`
 	} `json:"pcap"`
+
+	// Stages summarizes the per-stage pipeline latency histograms (see
+	// internal/telemetry: queue_wait, gather, feature, classify, cache);
+	// stages with no observations are omitted. Endpoints does the same per
+	// matched HTTP route. Full bucket detail is on the Prometheus
+	// exposition (GET /metrics?format=prometheus).
+	Stages    map[string]LatencySummary `json:"stages,omitempty"`
+	Endpoints map[string]LatencySummary `json:"endpoints,omitempty"`
 
 	Labels map[string]int64 `json:"labels"`
 	Models []ModelInfo      `json:"models"`
@@ -97,6 +190,26 @@ type MetricsSnapshot struct {
 	// per-scenario accuracy of the newest ACCURACY_<n>.json point), when
 	// one was installed with Service.SetEvalSummary; absent otherwise.
 	Eval *eval.Summary `json:"eval,omitempty"`
+}
+
+// LatencySummary condenses one latency histogram for the JSON snapshot:
+// observation count, mean, and the factor-of-two p50/p99 upper estimates
+// the log-spaced buckets support.
+type LatencySummary struct {
+	Count  int64   `json:"count"`
+	MeanUs float64 `json:"mean_us"`
+	P50Us  float64 `json:"p50_us"`
+	P99Us  float64 `json:"p99_us"`
+}
+
+func summarize(s telemetry.HistogramSnapshot) LatencySummary {
+	us := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+	return LatencySummary{
+		Count:  s.Count,
+		MeanUs: us(s.Mean()),
+		P50Us:  us(s.Quantile(0.5)),
+		P99Us:  us(s.Quantile(0.99)),
+	}
 }
 
 // ModelInfo describes one registry entry in /metrics and reload responses.
@@ -133,10 +246,37 @@ func (s *Service) snapshot() MetricsSnapshot {
 	out.Cache.Entries = s.cache.Len()
 	out.Cache.Max = s.cfg.CacheSize
 
+	out.QueueHighWater = m.queueHighWater.Load()
+	out.WorkersBusy = m.workersBusy.Load()
+	out.FinishedRetained = m.finishedRetained.Load()
+
+	out.Outcomes.Labeled = m.outcomeLabeled.Load()
+	out.Outcomes.Unsure = m.outcomeUnsure.Load()
+	out.Outcomes.Special = m.outcomeSpecial.Load()
+	out.Outcomes.Invalid = m.outcomeInvalid.Load()
+
 	out.Pcap.Uploads = m.pcapUploads.Load()
 	out.Pcap.FlowsSeen = m.pcapFlowsSeen.Load()
 	out.Pcap.Classifiable = m.pcapFlowsClassifiable.Load()
 	out.Pcap.DecodeErrors = m.pcapDecodeErrors.Load()
+	out.Pcap.Bytes = m.pcapBytes.Load()
+	out.Pcap.DecodeMs = float64(m.pcapDecode.Snapshot().Sum) / float64(time.Millisecond)
+
+	for st, snap := range m.pipeline.Snapshot() {
+		if snap.Count == 0 {
+			continue
+		}
+		if out.Stages == nil {
+			out.Stages = map[string]LatencySummary{}
+		}
+		out.Stages[telemetry.Stage(st).String()] = summarize(snap)
+	}
+	for pattern, snap := range m.endpointSnapshots() {
+		if out.Endpoints == nil {
+			out.Endpoints = map[string]LatencySummary{}
+		}
+		out.Endpoints[pattern] = summarize(snap)
+	}
 
 	out.Labels = map[string]int64{}
 	m.labels.Range(func(k, v any) bool {

@@ -2,7 +2,9 @@ package service
 
 import (
 	"errors"
+	"io"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/flow"
@@ -24,9 +26,14 @@ func (s *Service) handlePcap(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// The same body bound every JSON endpoint enforces; the decoder reads
-	// incrementally so only its one-block buffer is resident.
-	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	// incrementally so only its one-block buffer is resident. The counting
+	// wrapper feeds the ingest-throughput metrics (bytes over decode time).
+	body := &countingReader{r: http.MaxBytesReader(w, r.Body, maxBodyBytes)}
+	decodeStart := time.Now()
 	flows, stats, err := flow.Reassemble(body, flow.Config{})
+	decodeSpan := time.Since(decodeStart)
+	s.metrics.pcapBytes.Add(body.n.Load())
+	s.metrics.pcapDecode.Observe(decodeSpan)
 	s.metrics.pcapFlowsSeen.Add(stats.Flows)
 	s.metrics.pcapFlowsClassifiable.Add(stats.Classifiable)
 	if err != nil {
@@ -46,9 +53,10 @@ func (s *Service) handlePcap(w http.ResponseWriter, r *http.Request) {
 
 	pairs := flow.Pair(flows)
 	j, err := s.enqueue(&job{
-		model: modelName,
-		pcap:  pairs,
-		total: len(pairs),
+		model:      modelName,
+		pcap:       pairs,
+		total:      len(pairs),
+		gatherSpan: decodeSpan,
 	})
 	if err != nil {
 		if errors.Is(err, errQueueFull) || errors.Is(err, errShuttingDown) {
@@ -88,11 +96,17 @@ func (s *Service) runPcap(j *job) {
 		return
 	}
 	version := model.Version()
-	_ = flow.ClassifyCtx(j.ctx, j.pcap, model.Identifier().Classifier(), s.cfg.Parallelism, func(i int) {
-		resp := toFlowResponse(version, j.pcap[i])
-		s.metrics.identifies.Add(1)
-		s.metrics.countLabel(resp)
-		j.complete(i, resp, false)
+	_ = flow.ClassifyAll(j.ctx, j.pcap, model.Identifier().Classifier(), flow.ClassifyOptions{
+		Parallelism: s.cfg.Parallelism,
+		Timings:     true,
+		Telemetry:   &s.metrics.pipeline,
+		GatherSpan:  j.gatherSpan,
+		OnResult: func(i int) {
+			resp := toFlowResponse(version, j.pcap[i])
+			s.metrics.identifies.Add(1)
+			s.metrics.countLabel(resp)
+			j.complete(i, resp, false)
+		},
 	})
 	// The pairs (cloned traces, endpoint strings) are only needed to fill
 	// results; dropping them here keeps the finished-job retention window
@@ -143,7 +157,21 @@ func toFlowResponse(modelVersion string, p flow.FlowIdentification) IdentifyResp
 		info.Retransmits += p.B.Retransmits
 	}
 	resp.Flow = info
+	resp.Timings = stageTimingsMs(p.ID.Timings)
 	return resp
+}
+
+// countingReader counts bytes pulled through it (atomically: handlers and
+// the metrics scraper race).
+type countingReader struct {
+	r io.Reader
+	n atomic.Int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n.Add(int64(n))
+	return n, err
 }
 
 // FlowInfo is the per-flow metadata attached to capture-job results.

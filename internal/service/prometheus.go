@@ -1,0 +1,102 @@
+package service
+
+import (
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/telemetry"
+)
+
+// wantsPrometheus decides whether a GET /metrics request asked for the
+// Prometheus text exposition instead of the default JSON snapshot: an
+// explicit ?format=prometheus, or an Accept header naming text/plain or
+// an OpenMetrics type (what Prometheus scrapers send). Browsers and the
+// existing JSON consumers keep getting JSON.
+func wantsPrometheus(format, accept string) bool {
+	if format == "prometheus" {
+		return true
+	}
+	if format != "" {
+		return false
+	}
+	accept = strings.ToLower(accept)
+	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
+}
+
+// writePrometheus renders the full scrape body: every JSON-snapshot
+// counter and gauge under a caai_ prefix, the outcome and label counter
+// vectors, and the request/stage latency histograms at full bucket
+// resolution (which the JSON snapshot only summarizes).
+func (s *Service) writePrometheus(w io.Writer) error {
+	snap := s.snapshot()
+	m := s.metrics
+	pw := telemetry.NewPromWriter(w)
+
+	pw.Counter("caai_requests_total", "HTTP requests served, all endpoints.", snap.Requests)
+	pw.Counter("caai_identifications_total", "Identifications executed (sync + batch, cache misses).", snap.Identifies)
+	pw.Gauge("caai_in_flight", "Probes currently executing (sync + batch).", float64(snap.InFlight))
+	pw.Gauge("caai_queue_depth", "Batch jobs waiting in the bounded queue.", float64(snap.QueueDepth))
+	pw.Gauge("caai_queue_high_water", "Deepest the batch queue has been since start.", float64(snap.QueueHighWater))
+	pw.Gauge("caai_workers", "Configured batch workers.", float64(snap.Workers))
+	pw.Gauge("caai_workers_busy", "Workers currently executing a job.", float64(snap.WorkersBusy))
+	pw.Gauge("caai_finished_jobs_retained", "Finished jobs kept pollable by the retention window.", float64(snap.FinishedRetained))
+	pw.Counter("caai_batch_jobs_accepted_total", "Async jobs accepted.", snap.BatchAccepted)
+	pw.Counter("caai_batch_jobs_rejected_total", "Async jobs rejected (queue full / bad request).", snap.BatchRejected)
+	pw.Counter("caai_batch_jobs_completed_total", "Async jobs finished successfully.", snap.JobsCompleted)
+	pw.Counter("caai_batch_jobs_failed_total", "Async jobs cancelled or failed.", snap.JobsFailed)
+	pw.Counter("caai_models_reloaded_total", "Model hot-swaps applied.", snap.ModelsReloaded)
+
+	pw.Counter("caai_cache_hits_total", "Result-cache hits (incl. coalesced followers).", snap.Cache.Hits)
+	pw.Counter("caai_cache_misses_total", "Result-cache misses.", snap.Cache.Misses)
+	pw.Gauge("caai_cache_entries", "Result-cache occupancy.", float64(snap.Cache.Entries))
+
+	pw.Counter("caai_pcap_uploads_total", "Capture uploads received.", snap.Pcap.Uploads)
+	pw.Counter("caai_pcap_flows_total", "TCP flows reassembled from uploads.", snap.Pcap.FlowsSeen)
+	pw.Counter("caai_pcap_flows_classifiable_total", "Reassembled flows with a valid CAAI trace.", snap.Pcap.Classifiable)
+	pw.Counter("caai_pcap_decode_errors_total", "Uploads rejected as undecodable.", snap.Pcap.DecodeErrors)
+	pw.Counter("caai_pcap_bytes_total", "Capture bytes ingested.", snap.Pcap.Bytes)
+	pw.Histogram("caai_pcap_decode_seconds", "Per-upload capture decode+reassembly time.",
+		nil, m.pcapDecode.Snapshot())
+
+	pw.CounterVec("caai_outcomes_total",
+		"Identifications by outcome class (labeled/unsure/special/invalid, mirrors internal/eval).",
+		"outcome", map[string]int64{
+			"labeled": snap.Outcomes.Labeled,
+			"unsure":  snap.Outcomes.Unsure,
+			"special": snap.Outcomes.Special,
+			"invalid": snap.Outcomes.Invalid,
+		})
+	pw.CounterVec("caai_labels_total", "Identifications by reported label.", "label", snap.Labels)
+
+	// One family per histogram vector; every label set shares the
+	// HELP/TYPE preamble.
+	pipeline := m.pipeline.Snapshot()
+	pw.Header("caai_stage_duration_seconds", "Pipeline per-stage latency (queue wait, gather, feature, classify, cache).", "histogram")
+	for st, hs := range pipeline {
+		if hs.Count == 0 {
+			continue
+		}
+		pw.HistogramSamples("caai_stage_duration_seconds",
+			map[string]string{"stage": telemetry.Stage(st).String()}, hs)
+	}
+
+	endpoints := m.endpointSnapshots()
+	pw.Header("caai_request_duration_seconds", "HTTP request latency by matched route.", "histogram")
+	for _, pattern := range sortedKeys(endpoints) {
+		pw.HistogramSamples("caai_request_duration_seconds",
+			map[string]string{"endpoint": pattern}, endpoints[pattern])
+	}
+
+	return pw.Err()
+}
+
+// sortedKeys gives the exposition a deterministic series order.
+func sortedKeys(m map[string]telemetry.HistogramSnapshot) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

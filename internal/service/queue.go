@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/flow"
+	"repro/internal/telemetry"
 )
 
 // Job states reported by GET /v1/jobs/{id}.
@@ -30,6 +32,12 @@ type job struct {
 	pcap []flow.FlowIdentification
 	// total is the number of result slots (len(specs) or len(pcap)).
 	total int
+	// enqueuedAt stamps queue admission; the worker observes the
+	// dequeue-to-start delta as the job-level queue_wait span.
+	enqueuedAt time.Time
+	// gatherSpan is a pcap job's decode+reassembly wall clock, charged to
+	// its pairs as StageGather when classification records spans.
+	gatherSpan time.Duration
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -161,9 +169,15 @@ func (s *Service) enqueue(j *job) (*job, error) {
 	if s.closed {
 		return reject(errShuttingDown)
 	}
+	j.enqueuedAt = time.Now()
+	depth := int64(len(s.queue)) + 1 // this job included
 	select {
 	case s.queue <- j:
 		s.metrics.batchAccepted.Add(1)
+		// depth was sampled before the send: it counts this job exactly
+		// once even when a worker drains it before we could observe it --
+		// the job was queued, however briefly.
+		s.metrics.queueHighWater.SetMax(depth)
 		return j, nil
 	default:
 		return reject(errQueueFull)
@@ -201,6 +215,7 @@ func (s *Service) retire(j *job) {
 		delete(s.jobs, s.finished[0])
 		s.finished = s.finished[1:]
 	}
+	s.metrics.finishedRetained.Set(int64(len(s.finished)))
 }
 
 // worker drains the batch queue until the service closes: the bounded
@@ -219,11 +234,14 @@ func (s *Service) worker() {
 				s.retire(j)
 				continue
 			}
+			s.metrics.pipeline.Observe(telemetry.StageQueueWait, time.Since(j.enqueuedAt))
+			s.metrics.workersBusy.Add(1)
 			if j.pcap != nil {
 				s.runPcap(j)
 			} else {
 				s.runBatch(j)
 			}
+			s.metrics.workersBusy.Add(-1)
 			s.retire(j)
 		}
 	}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/netem"
 	"repro/internal/probe"
+	"repro/internal/telemetry"
 	"repro/internal/websim"
 	"repro/internal/xrand"
 )
@@ -208,6 +209,15 @@ func (s *Service) identify(ctx context.Context, modelName string, spec JobSpec) 
 	}
 	key := model.Version() + "|" + spec.fingerprint()
 
+	// Span recording for the service-side stages: cache is the first
+	// lookup's cost, queue_wait the time from then until a probe slot is
+	// held (singleflight waits included -- that IS the queueing a coalesced
+	// request experiences).
+	var clock telemetry.SpanClock
+	var tm telemetry.StageTimings
+	clock.Start()
+	firstLookup := true
+
 	// Singleflight: identification is deterministic per key, so concurrent
 	// identical requests share one probe. Followers count as cache hits
 	// (they are served from memory); only the leader counts a miss. A
@@ -216,7 +226,13 @@ func (s *Service) identify(ctx context.Context, modelName string, spec JobSpec) 
 	// and elect a new leader.
 	var c *inflightCall
 	for {
-		if resp, ok := s.cache.Get(key); ok {
+		resp, ok := s.cache.Get(key)
+		if firstLookup {
+			clock.Lap(&tm, telemetry.StageCache)
+			s.metrics.pipeline.Observe(telemetry.StageCache, tm[telemetry.StageCache])
+			firstLookup = false
+		}
+		if ok {
 			s.metrics.cacheHits.Add(1)
 			resp.Cached = true
 			return resp, nil
@@ -255,15 +271,23 @@ func (s *Service) identify(ctx context.Context, modelName string, spec JobSpec) 
 		return IdentifyResponse{}, ctx.Err()
 	}
 	defer func() { <-s.syncSem }()
+	clock.Lap(&tm, telemetry.StageQueueWait)
+	s.metrics.pipeline.Observe(telemetry.StageQueueWait, tm[telemetry.StageQueueWait])
 	s.metrics.cacheMisses.Add(1)
 	s.metrics.inFlight.Add(1)
 	defer s.metrics.inFlight.Add(-1)
 	rng := xrand.New(spec.Seed)
 	// Sessions recycle probe and feature scratch across requests; the pool
-	// guarantees exclusive use for the duration of the probe.
+	// guarantees exclusive use for the duration of the probe. Span
+	// recording stays on for the session's lifetime (idempotent re-enable).
 	sess := model.acquireSession()
+	sess.EnableTimings(&s.metrics.pipeline)
 	id := sess.Identify(server, cond, s.cfg.Probe, rng)
 	model.releaseSession(sess)
+	// Fold the service-side spans into the result's breakdown so the wire
+	// timings cover the whole request, not just the pipeline core.
+	id.Timings[telemetry.StageQueueWait] = tm[telemetry.StageQueueWait]
+	id.Timings[telemetry.StageCache] = tm[telemetry.StageCache]
 	s.metrics.identifies.Add(1)
 	resp := toResponse(model.Version(), server.Name, id)
 	s.metrics.countLabel(resp)
@@ -400,7 +424,9 @@ func (s *Service) runBatch(j *job) {
 			Parallelism: s.cfg.Parallelism,
 			Probe:       s.cfg.Probe,
 			NewWorkerBlock: func() engine.BlockIdentifier[core.Identification] {
-				return countingBlock{bs: model.Identifier().NewBlockSession(), m: s.metrics}
+				bs := model.Identifier().NewBlockSession()
+				bs.EnableTimings(&s.metrics.pipeline)
+				return countingBlock{bs: bs, m: s.metrics}
 			},
 			OnResult: func(r engine.Result[core.Identification]) {
 				g := groups[r.Index]

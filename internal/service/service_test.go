@@ -108,7 +108,16 @@ func TestIdentifyEndpointAndCacheHit(t *testing.T) {
 	if !again.Cached {
 		t.Fatal("repeated identification missed the cache")
 	}
+	// The cached response replays the original probe's timings; compare
+	// the rest of the payload with the breakdown (a pointer) normalized.
+	if out.Timings == nil || out.Timings.GatherMs <= 0 {
+		t.Fatalf("sync response missing stage timings: %+v", out.Timings)
+	}
+	if again.Timings == nil || *again.Timings != *out.Timings {
+		t.Fatalf("cached timings differ: %+v vs %+v", again.Timings, out.Timings)
+	}
 	again.Cached = out.Cached
+	again.Timings = out.Timings
 	if fmt.Sprint(again) != fmt.Sprint(out) {
 		t.Fatalf("cached result differs:\n%+v\n%+v", again, out)
 	}

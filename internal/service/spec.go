@@ -8,6 +8,7 @@ import (
 	"repro/internal/cc"
 	"repro/internal/core"
 	"repro/internal/netem"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/websim"
 )
@@ -215,8 +216,42 @@ type IdentifyResponse struct {
 	// Flow carries per-flow metadata on POST /v1/pcap job results; absent
 	// for probed identifications.
 	Flow *FlowInfo `json:"flow,omitempty"`
+	// Timings is the per-stage wall-clock breakdown of the pipeline run
+	// that produced this result (absent when span recording is off). On a
+	// cached response it describes the run that filled the cache, not this
+	// request.
+	Timings *StageTimingsMs `json:"timings,omitempty"`
 	// Text is the human-readable rendering of the identification.
 	Text string `json:"text"`
+}
+
+// StageTimingsMs is the wire form of a per-stage span breakdown, in
+// milliseconds. Stage meanings follow internal/telemetry: queue_wait is
+// time waiting for an execution slot, gather the probe (or capture
+// decode) span, feature extraction, classify the model call (a block
+// sample's share of its batched call), cache the service-side lookup.
+type StageTimingsMs struct {
+	QueueWaitMs float64 `json:"queue_wait_ms,omitempty"`
+	GatherMs    float64 `json:"gather_ms,omitempty"`
+	FeatureMs   float64 `json:"feature_ms,omitempty"`
+	ClassifyMs  float64 `json:"classify_ms,omitempty"`
+	CacheMs     float64 `json:"cache_ms,omitempty"`
+}
+
+// stageTimingsMs renders a recorded span breakdown for the wire (nil when
+// nothing was recorded, so untimed paths stay byte-identical).
+func stageTimingsMs(t telemetry.StageTimings) *StageTimingsMs {
+	if t.Zero() {
+		return nil
+	}
+	ms := func(s telemetry.Stage) float64 { return float64(t[s]) / float64(time.Millisecond) }
+	return &StageTimingsMs{
+		QueueWaitMs: ms(telemetry.StageQueueWait),
+		GatherMs:    ms(telemetry.StageGather),
+		FeatureMs:   ms(telemetry.StageFeature),
+		ClassifyMs:  ms(telemetry.StageClassify),
+		CacheMs:     ms(telemetry.StageCache),
+	}
 }
 
 // toResponse converts a pipeline identification to its wire form.
@@ -240,6 +275,7 @@ func toResponse(modelVersion, server string, id core.Identification) IdentifyRes
 		resp.Confidence = id.Confidence
 		resp.Features = append([]float64(nil), id.Vector.Slice()...)
 	}
+	resp.Timings = stageTimingsMs(id.Timings)
 	return resp
 }
 

@@ -100,6 +100,18 @@ type Sender struct {
 // New creates a sender running alg with the given options. The algorithm
 // instance must be dedicated to this sender.
 func New(alg cc.Algorithm, opts Options) *Sender {
+	s := new(Sender)
+	s.Renew(alg, opts)
+	return s
+}
+
+// Renew re-initializes s in place for a fresh connection running alg,
+// recycling the Sender and its Conn allocations: the post-Renew state is
+// exactly what New returns. The algorithm instance must be dedicated to
+// this sender for the connection's lifetime (Reset rewinds it here, as New
+// does). This is the zero-allocation path for probers that open thousands
+// of sequential connections.
+func (s *Sender) Renew(alg cc.Algorithm, opts Options) {
 	if opts.MSS <= 0 {
 		opts.MSS = 1460
 	}
@@ -108,13 +120,17 @@ func New(alg cc.Algorithm, opts Options) *Sender {
 		iw = math.Min(4, math.Max(2, 4380/float64(opts.MSS)))
 		iw = math.Floor(iw)
 	}
-	conn := cc.NewConn(opts.MSS, iw)
+	conn := s.conn
+	if conn == nil {
+		conn = cc.NewConn(opts.MSS, iw)
+	} else {
+		conn.Reinit(opts.MSS, iw)
+	}
 	if opts.InitialSsthresh > 0 {
 		conn.Ssthresh = opts.InitialSsthresh
 	}
-	s := &Sender{alg: alg, conn: conn, opts: opts, retransHigh: -1, retransmitNext: -1}
+	*s = Sender{alg: alg, conn: conn, opts: opts, retransHigh: -1, retransmitNext: -1}
 	alg.Reset(conn)
-	return s
 }
 
 // Conn exposes the congestion state (read-mostly; the prober reads Cwnd for

@@ -111,12 +111,22 @@ func (s *Server) newAlgorithm() (cc.Algorithm, error) {
 // length of the page each request fetches, and now the wall-clock time
 // (drives slow start threshold cache expiry).
 func (s *Server) Open(mss, requests int, pageBytes int64, now time.Duration) (*tcpsim.Sender, error) {
-	if !s.AcceptsMSS(mss) {
-		return nil, fmt.Errorf("websim: server %s rejects mss %d (minimum %d)", s.Name, mss, s.MinMSS)
+	opts, err := s.connOptions(mss, requests, pageBytes, now)
+	if err != nil {
+		return nil, err
 	}
 	alg, err := s.newAlgorithm()
 	if err != nil {
 		return nil, fmt.Errorf("websim: server %s: %w", s.Name, err)
+	}
+	return tcpsim.New(alg, opts), nil
+}
+
+// connOptions computes the tcpsim options one connection runs with: the
+// shared half of Open and Dialer.Open.
+func (s *Server) connOptions(mss, requests int, pageBytes int64, now time.Duration) (tcpsim.Options, error) {
+	if !s.AcceptsMSS(mss) {
+		return tcpsim.Options{}, fmt.Errorf("websim: server %s rejects mss %d (minimum %d)", s.Name, mss, s.MinMSS)
 	}
 	accepted := s.AcceptRequests(requests)
 	totalBytes := int64(accepted) * pageBytes
@@ -143,7 +153,7 @@ func (s *Server) Open(mss, requests int, pageBytes int64, now time.Duration) (*t
 			opts.InitialSsthresh = s.cachedSsthresh
 		}
 	}
-	return tcpsim.New(alg, opts), nil
+	return opts, nil
 }
 
 // Close ends a connection at time now, caching the slow start threshold
