@@ -1,0 +1,156 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	caai "repro"
+)
+
+// trainedModel trains one tiny forest per test binary and saves it for
+// every test that needs a -model file.
+var trainedModel = sync.OnceValues(func() (string, error) {
+	id, err := caai.Train(caai.TrainingOptions{ConditionsPerPair: 2, Trees: 8, Seed: 7})
+	if err != nil {
+		return "", err
+	}
+	dir, err := os.MkdirTemp("", "caai-census-test")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "model.json")
+	return path, id.SaveModel(path)
+})
+
+func modelPath(t *testing.T) string {
+	t.Helper()
+	path, err := trainedModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// tableOf extracts the rendered Table IV block from command output.
+func tableOf(t *testing.T, out string) string {
+	t.Helper()
+	i := strings.Index(out, "Servers:")
+	if i < 0 {
+		t.Fatalf("output has no table:\n%s", out)
+	}
+	return out[i:]
+}
+
+func TestRunHelp(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(context.Background(), []string{"-h"}, &buf); err != nil {
+		t.Fatalf("-h returned %v", err)
+	}
+	if !strings.Contains(buf.String(), "-fault-plan") {
+		t.Fatalf("usage output missing flags:\n%s", buf.String())
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"unexpected args", []string{"bogus"}},
+		{"unknown flag", []string{"-nope"}},
+		{"resume without checkpoint", []string{"-resume"}},
+		{"missing fault plan", []string{"-fault-plan", filepath.Join(t.TempDir(), "absent.json")}},
+		{"missing model", []string{"-model", filepath.Join(t.TempDir(), "absent.json")}},
+	} {
+		var buf bytes.Buffer
+		if err := run(context.Background(), tc.args, &buf); err == nil {
+			t.Errorf("%s: run accepted %v", tc.name, tc.args)
+		}
+	}
+}
+
+func TestCensusRunPrintsTable(t *testing.T) {
+	var buf bytes.Buffer
+	args := []string{"-model", modelPath(t), "-servers", "120", "-seed", "3", "-workers", "2"}
+	if err := run(context.Background(), args, &buf); err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	table := tableOf(t, buf.String())
+	if !strings.Contains(table, "120 total") || !strings.Contains(table, "label \\ wmax") {
+		t.Fatalf("unexpected table:\n%s", table)
+	}
+}
+
+// TestInterruptResumeMatchesClean is the command-level determinism
+// contract: interrupt a checkpointed run mid-campaign (the SIGINT path:
+// context cancellation), resume it, and require the resumed table to be
+// byte-identical to an uninterrupted run. The fault plan injects only
+// latency spikes -- they stretch the run enough to interrupt reliably
+// without changing any probe outcome.
+func TestInterruptResumeMatchesClean(t *testing.T) {
+	model := modelPath(t)
+	plan := filepath.Join(t.TempDir(), "plan.json")
+	if err := os.WriteFile(plan, []byte(`{"seed":1,"latency_spike_rate":1,"latency_spike_ms":10}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base := []string{"-model", model, "-servers", "200", "-seed", "3", "-workers", "4", "-fault-plan", plan}
+
+	var clean bytes.Buffer
+	if err := run(context.Background(), base, &clean); err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	want := tableOf(t, clean.String())
+
+	// Interrupted run: cancel as soon as the first checkpoint record is
+	// durable (with 10 ms spikes the campaign has ~500 ms left to run).
+	ckpt := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var interrupted bytes.Buffer
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, append(base, "-checkpoint", ckpt), &interrupted)
+	}()
+	records := filepath.Join(ckpt, "checkpoint.jsonl")
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if fi, err := os.Stat(records); err == nil && fi.Size() > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("checkpoint never grew a record")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	err := <-errc
+	if err == nil {
+		t.Fatal("interrupted run returned nil (campaign finished before the cancel; raise the spike)")
+	}
+	if !strings.Contains(err.Error(), "interrupted") {
+		t.Fatalf("interrupted run error = %v", err)
+	}
+	out := interrupted.String()
+	if !strings.Contains(out, "partial results over") || !strings.Contains(out, "re-run with -resume") {
+		t.Fatalf("interrupted output missing partial table or resume hint:\n%s", out)
+	}
+
+	// Resume with the same flags: restored targets are not re-probed and
+	// the final table matches the uninterrupted run exactly.
+	var resumed bytes.Buffer
+	if err := run(context.Background(), append(base, "-checkpoint", ckpt, "-resume"), &resumed); err != nil {
+		t.Fatalf("resume run: %v\n%s", err, resumed.String())
+	}
+	if !strings.Contains(resumed.String(), "resumed ") {
+		t.Fatalf("resume run restored nothing:\n%s", resumed.String())
+	}
+	if got := tableOf(t, resumed.String()); got != want {
+		t.Fatalf("resumed table diverged from clean run:\n--- resumed\n%s\n--- clean\n%s", got, want)
+	}
+}

@@ -149,11 +149,22 @@ func Run(population []GroundTruth, id *core.Identifier, db *netem.Database, cfg 
 	engine.RunWorkers(context.Background(), len(population), cfg.Parallelism, func(w, i int) {
 		rng := xrand.New(cfg.Seed + int64(i)*6700417)
 		cond := db.Sample(rng)
+		// Start from a pristine ssthresh cache so the outcome is a pure
+		// function of (server, seed): re-running a census over the same
+		// population reproduces it exactly.
+		population[i].Server.ResetCache()
 		ident := sessions[w].Identify(population[i].Server, cond, cfg.Probe, rng)
 		outcomes[i] = Outcome{Truth: population[i], ID: ident}
 	})
 	return aggregate(outcomes)
 }
+
+// Aggregate folds per-server outcomes into a Report. The fold visits
+// outcomes in slice order and every table is a pure function of the
+// outcome values, so any runner that fills the slice by population index
+// (census.Run, the sharded coordinator in census/shard, a checkpoint
+// resume) aggregates to bit-identical tables.
+func Aggregate(outcomes []Outcome) *Report { return aggregate(outcomes) }
 
 func aggregate(outcomes []Outcome) *Report {
 	r := &Report{
@@ -224,8 +235,15 @@ func (r *Report) TableIV() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Servers: %d total, %d with valid traces (%.2f%%)\n",
 		r.Total, valid, 100*float64(valid)/float64(r.Total))
-	for reason, n := range r.InvalidByReason {
-		fmt.Fprintf(&b, "  invalid (%s): %d\n", reason, n)
+	reasons := make([]string, 0, len(r.InvalidByReason))
+	for reason := range r.InvalidByReason {
+		reasons = append(reasons, string(reason))
+	}
+	// Sorted so the rendering is byte-deterministic (the shard package's
+	// determinism-under-failure contract compares TableIV output).
+	sort.Strings(reasons)
+	for _, reason := range reasons {
+		fmt.Fprintf(&b, "  invalid (%s): %d\n", reason, r.InvalidByReason[probe.InvalidReason(reason)])
 	}
 	fmt.Fprintf(&b, "%-24s", "label \\ wmax")
 	for _, w := range wmaxes {

@@ -1,0 +1,70 @@
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring of worker virtual nodes. Targets hash
+// onto the ring by server name and belong to the next vnode clockwise, so
+// shard assignment is stable: changing the worker count only remaps the
+// ~1/N of targets nearest the moved vnodes, and two runs with the same
+// worker count shard identically (the resume path relies on that only for
+// load balance, never for correctness -- any worker may finish any target
+// via stealing).
+type ring struct {
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash   uint64
+	worker int
+}
+
+// vnodesPerWorker trades ring size for assignment smoothness; 64 vnodes
+// keeps per-worker shard sizes within a few percent of each other.
+const vnodesPerWorker = 64
+
+// newRing builds the ring for `workers` workers.
+func newRing(workers int) *ring {
+	r := &ring{points: make([]ringPoint, 0, workers*vnodesPerWorker)}
+	for w := 0; w < workers; w++ {
+		for v := 0; v < vnodesPerWorker; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:   hashKey(fmt.Sprintf("worker-%d-vnode-%d", w, v)),
+				worker: w,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].worker < r.points[j].worker
+	})
+	return r
+}
+
+// owner returns the worker whose vnode follows key's hash clockwise.
+func (r *ring) owner(key string) int {
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].worker
+}
+
+// hashKey hashes a ring key: FNV-1a for the string walk, then a
+// SplitMix64 finalizer. Raw FNV of near-identical keys ("worker-0-vnode-1",
+// "worker-0-vnode-2") clusters badly on the ring; the finalizer's
+// avalanche restores uniform vnode placement. Stable across processes.
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	z := h.Sum64()
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,693 @@
+// Package shard rebuilds the census as a coordinator/worker system
+// hardened against partial failure, for the paper's Section VII workload:
+// a long-lived campaign over tens of thousands of targets where probes
+// time out, targets rate-limit, workers die, and the process itself may
+// be killed and restarted.
+//
+// The coordinator consistent-hash-shards the population across N workers.
+// Each worker owns a queue and steals from the busiest peer when its own
+// runs dry, so a crashed worker's backlog is absorbed by the survivors.
+// Failures follow a three-way taxonomy: timeouts retry with a longer
+// probe budget under exponential backoff with jitter, rate-limited
+// attempts are deferred without consuming a retry, and permanently
+// unreachable targets are abandoned with the reason recorded in the
+// census report's InvalidByReason. Completed targets stream to an
+// append-only JSONL checkpoint with an atomic manifest, so a killed
+// census resumes where it stopped.
+//
+// Everything is deterministic by construction: probe outcomes derive from
+// per-(target, attempt) seeds and injected faults (FaultPlan) from
+// per-(target, trial) seeds, never from shared streams, and tables
+// aggregate in population order. A run that crashes, resumes, loses
+// checkpoint writes, or reshuffles work across workers therefore produces
+// bit-identical Table IV output to an uninterrupted run with the same
+// seed -- the contract the determinism-under-failure tests enforce.
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/census"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/netem"
+	"repro/internal/probe"
+	"repro/internal/telemetry"
+	"repro/internal/xrand"
+)
+
+// Abandonment reasons, surfaced through Report.InvalidByReason so
+// given-up targets are accounted for rather than silently dropped.
+const (
+	// ReasonRetriesExhausted marks a target whose probe attempts all
+	// timed out.
+	ReasonRetriesExhausted = probe.InvalidReason("abandoned: retries exhausted")
+	// ReasonDeferralsExhausted marks a target that stayed rate-limited
+	// past the deferral budget.
+	ReasonDeferralsExhausted = probe.InvalidReason("abandoned: deferral budget exhausted")
+	// ReasonUnreachable marks a permanently unreachable target.
+	ReasonUnreachable = probe.InvalidReason("abandoned: unreachable")
+)
+
+// Config controls a sharded census run.
+type Config struct {
+	// Workers is the worker (shard) count; 0 = engine default
+	// parallelism, clamped to the population size.
+	Workers int
+	// Seed drives probing exactly like census.RunConfig.Seed: a shard
+	// run with no faults is outcome-identical to census.Run with the
+	// same seed.
+	Seed int64
+	// Probe customizes the prober (zero = paper defaults). Retries grow
+	// MaxPreRounds by 50% per attempt on top of this base.
+	Probe probe.Config
+
+	// MaxAttempts bounds probe attempts per target before abandoning
+	// (default 4). MaxDeferrals bounds rate-limit deferrals (default 8).
+	MaxAttempts  int
+	MaxDeferrals int
+
+	// BackoffBase and BackoffMax shape the exponential backoff between
+	// attempts: delay = min(BackoffBase * 2^(n-1), BackoffMax), scaled
+	// by a deterministic jitter in [0.5, 1.5). Defaults 100ms / 5s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+
+	// TargetInterval is the per-target token-bucket floor: a target is
+	// contacted at most once per interval. WorkerInterval rate-limits
+	// each worker's own probe launches. 0 disables either.
+	TargetInterval time.Duration
+	WorkerInterval time.Duration
+
+	// Checkpoint is a directory for incremental checkpointing ("" =
+	// disabled). Resume loads completed targets from it before running.
+	Checkpoint string
+	Resume     bool
+
+	// Fault is the deterministic fault-injection plan (nil = none).
+	Fault *FaultPlan
+
+	// Metrics, when non-nil, mirrors every counter into an external
+	// telemetry sink (the service aggregates all census jobs this way).
+	Metrics *Metrics
+
+	// Test hooks: clock, sleeper, and pre-probe observer. Nil = real
+	// time. In-package tests inject a fake clock to verify pacing
+	// without wall-clock waits.
+	nowFn       func() time.Time
+	sleepFn     func(context.Context, time.Duration)
+	beforeProbe func(worker, target, attempt int, now time.Time)
+}
+
+const (
+	defaultMaxAttempts  = 4
+	defaultMaxDeferrals = 8
+	defaultBackoffBase  = 100 * time.Millisecond
+	defaultBackoffMax   = 5 * time.Second
+
+	// idlePoll and maxIdleWait bound how long a starved worker sleeps
+	// between queue scans.
+	idlePoll    = 200 * time.Microsecond
+	maxIdleWait = 10 * time.Millisecond
+)
+
+func (c Config) workerCount(targets int) int {
+	return engine.Workers(targets, c.Workers)
+}
+
+func (c Config) maxAttempts() int {
+	if c.MaxAttempts > 0 {
+		return c.MaxAttempts
+	}
+	return defaultMaxAttempts
+}
+
+func (c Config) maxDeferrals() int {
+	if c.MaxDeferrals > 0 {
+		return c.MaxDeferrals
+	}
+	return defaultMaxDeferrals
+}
+
+func (c Config) backoffBase() time.Duration {
+	if c.BackoffBase > 0 {
+		return c.BackoffBase
+	}
+	return defaultBackoffBase
+}
+
+func (c Config) backoffMax() time.Duration {
+	if c.BackoffMax > 0 {
+		return c.BackoffMax
+	}
+	return defaultBackoffMax
+}
+
+// ErrStalled reports a run whose workers all crashed with work pending.
+var ErrStalled = errors.New("shard: census stalled: every worker exited with targets pending")
+
+// task is one pending target: attempt counts consumed probe attempts,
+// deferrals counts rate-limit bounces, notBefore schedules backoff.
+type task struct {
+	idx       int
+	attempt   int
+	deferrals int
+	notBefore time.Time
+}
+
+// workQueue is one worker's FIFO deque. The owner pops from the head,
+// thieves take from the tail -- the classic work-stealing split that
+// keeps owner and thieves off the same end.
+type workQueue struct {
+	mu    sync.Mutex
+	tasks []task
+	head  int
+}
+
+func (q *workQueue) push(t task) {
+	q.mu.Lock()
+	q.tasks = append(q.tasks, t)
+	q.mu.Unlock()
+}
+
+func (q *workQueue) size() int {
+	q.mu.Lock()
+	n := len(q.tasks) - q.head
+	q.mu.Unlock()
+	return n
+}
+
+// pop removes the first ready task. When nothing is ready it returns the
+// earliest notBefore among pending tasks (zero when the queue is empty).
+func (q *workQueue) pop(now time.Time) (task, bool, time.Time) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var earliest time.Time
+	for i := q.head; i < len(q.tasks); i++ {
+		t := q.tasks[i]
+		if !t.notBefore.After(now) {
+			if i == q.head {
+				q.head++
+				if q.head > 64 && q.head*2 >= len(q.tasks) {
+					n := copy(q.tasks, q.tasks[q.head:])
+					q.tasks = q.tasks[:n]
+					q.head = 0
+				}
+			} else {
+				q.tasks = append(q.tasks[:i], q.tasks[i+1:]...)
+			}
+			return t, true, time.Time{}
+		}
+		if earliest.IsZero() || t.notBefore.Before(earliest) {
+			earliest = t.notBefore
+		}
+	}
+	return task{}, false, earliest
+}
+
+// steal removes up to max ready tasks from the tail.
+func (q *workQueue) steal(now time.Time, max int) []task {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var out []task
+	for i := len(q.tasks) - 1; i >= q.head && len(out) < max; i-- {
+		if !q.tasks[i].notBefore.After(now) {
+			out = append(out, q.tasks[i])
+			q.tasks = append(q.tasks[:i], q.tasks[i+1:]...)
+		}
+	}
+	return out
+}
+
+// Coordinator owns one sharded census run. Build with New, drive with
+// Run; Progress and Report are safe to call concurrently with Run (the
+// service polls them for job status and partial tables).
+type Coordinator struct {
+	cfg Config
+	pop []census.GroundTruth
+	id  *core.Identifier
+	db  *netem.Database
+
+	queues   []*workQueue
+	assigned []int
+
+	outcomes []census.Outcome
+	done     []atomic.Bool
+	resumed  int
+	skipped  int
+
+	remaining  atomic.Int64
+	completed  atomic.Int64
+	workerDone []atomic.Int64
+	crashed    []atomic.Bool
+
+	// workerNext is each worker's next allowed launch time; index w is
+	// touched only by worker w's goroutine.
+	workerNext []time.Time
+
+	targetMu  sync.Mutex
+	lastProbe map[int]time.Time
+
+	ckpt *checkpointWriter
+
+	m   Metrics  // per-run counters, feeds Progress
+	ext *Metrics // optional shared sink (cfg.Metrics)
+
+	ran atomic.Bool
+}
+
+// New validates the config, loads any resumable checkpoint, and shards
+// the remaining targets across the workers' queues.
+func New(pop []census.GroundTruth, id *core.Identifier, db *netem.Database, cfg Config) (*Coordinator, error) {
+	if len(pop) == 0 {
+		return nil, errors.New("shard: empty population")
+	}
+	if err := cfg.Fault.validate(); err != nil {
+		return nil, err
+	}
+	nw := cfg.workerCount(len(pop))
+	c := &Coordinator{
+		cfg:        cfg,
+		pop:        pop,
+		id:         id,
+		db:         db,
+		queues:     make([]*workQueue, nw),
+		assigned:   make([]int, nw),
+		outcomes:   make([]census.Outcome, len(pop)),
+		done:       make([]atomic.Bool, len(pop)),
+		workerDone: make([]atomic.Int64, nw),
+		crashed:    make([]atomic.Bool, nw),
+		workerNext: make([]time.Time, nw),
+		lastProbe:  map[int]time.Time{},
+		ext:        cfg.Metrics,
+	}
+	for w := range c.queues {
+		c.queues[w] = &workQueue{}
+	}
+
+	fp := fingerprint(cfg, len(pop))
+	if cfg.Checkpoint != "" && cfg.Resume {
+		m, recs, skipped, err := LoadCheckpoint(cfg.Checkpoint)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			// First run with -resume: nothing to restore.
+		case err != nil:
+			return nil, err
+		case m.Version != 0:
+			if m.Fingerprint != fp {
+				return nil, fmt.Errorf("%w (checkpoint %s, config %s)", ErrFingerprint, m.Fingerprint, fp)
+			}
+			for _, rec := range recs {
+				c.outcomes[rec.I] = census.Outcome{Truth: pop[rec.I], ID: rec.identification()}
+				if !c.done[rec.I].Swap(true) {
+					c.resumed++
+				}
+			}
+			c.skipped = skipped
+		}
+	}
+	if cfg.Checkpoint != "" {
+		failEvery := 0
+		if cfg.Fault != nil {
+			failEvery = cfg.Fault.CheckpointFailEvery
+		}
+		w, err := openCheckpoint(cfg.Checkpoint,
+			Manifest{Version: manifestVersion, Fingerprint: fp, Targets: len(pop)},
+			c.resumed, failEvery)
+		if err != nil {
+			return nil, err
+		}
+		c.ckpt = w
+	}
+
+	ring := newRing(nw)
+	pending := 0
+	for i := range pop {
+		if c.done[i].Load() {
+			continue
+		}
+		w := ring.owner(pop[i].Server.Name)
+		c.queues[w].push(task{idx: i})
+		c.assigned[w]++
+		pending++
+	}
+	c.remaining.Store(int64(pending))
+	c.completed.Store(int64(c.resumed))
+	return c, nil
+}
+
+// Run drives the workers until every target has an outcome, the context
+// is cancelled, or every worker has crashed. It may be called once.
+func (c *Coordinator) Run(ctx context.Context) error {
+	if c.ran.Swap(true) {
+		return errors.New("shard: coordinator already ran")
+	}
+	if c.ckpt != nil {
+		defer c.ckpt.close()
+	}
+	if c.remaining.Load() == 0 {
+		return nil
+	}
+	var wg sync.WaitGroup
+	for w := range c.queues {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c.worker(ctx, w, c.id.NewSession())
+		}(w)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if c.remaining.Load() > 0 {
+		return ErrStalled
+	}
+	return nil
+}
+
+// worker is one shard's loop: drain the own queue, steal when dry, die
+// on schedule when the fault plan says so.
+func (c *Coordinator) worker(ctx context.Context, w int, sess *core.Session) {
+	crashAfter := c.cfg.Fault.crashAfter(w)
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		// The crash check precedes the done check: a worker scheduled to
+		// die at k completions dies even if the census finishes first, so
+		// chaos runs always record the planned crash.
+		if crashAfter >= 0 && c.workerDone[w].Load() >= int64(crashAfter) {
+			if !c.crashed[w].Swap(true) {
+				c.bump(func(m *Metrics) *telemetry.Counter { return &m.WorkerCrashes }, 1)
+			}
+			return
+		}
+		if c.remaining.Load() == 0 {
+			return
+		}
+		t, ok, wait := c.nextTask(w)
+		if !ok {
+			d := idlePoll
+			if !wait.IsZero() {
+				if until := wait.Sub(c.now()); until > d {
+					d = until
+				}
+			}
+			if d > maxIdleWait {
+				d = maxIdleWait
+			}
+			c.sleep(ctx, d)
+			continue
+		}
+		c.process(ctx, w, t, sess)
+	}
+}
+
+// nextTask pops from the worker's own queue, then steals from the
+// busiest peer. The wait hint is the own queue's earliest backoff expiry.
+func (c *Coordinator) nextTask(w int) (task, bool, time.Time) {
+	now := c.now()
+	t, ok, earliest := c.queues[w].pop(now)
+	if ok {
+		return t, true, time.Time{}
+	}
+	victim, best := -1, 0
+	for v := range c.queues {
+		if v == w {
+			continue
+		}
+		if n := c.queues[v].size(); n > best {
+			best, victim = n, v
+		}
+	}
+	if victim >= 0 {
+		if batch := c.queues[victim].steal(now, best/2+1); len(batch) > 0 {
+			c.bump(func(m *Metrics) *telemetry.Counter { return &m.Steals }, 1)
+			for _, r := range batch[1:] {
+				c.queues[w].push(r)
+			}
+			return batch[0], true, time.Time{}
+		}
+	}
+	return task{}, false, earliest
+}
+
+// process runs one task trial: pacing gates, injected faults, then the
+// real probe. Transient failures requeue; everything else finishes the
+// target.
+func (c *Coordinator) process(ctx context.Context, w int, t task, sess *core.Session) {
+	now := c.now()
+	if iv := c.cfg.WorkerInterval; iv > 0 {
+		if next := c.workerNext[w]; now.Before(next) {
+			c.bump(func(m *Metrics) *telemetry.Counter { return &m.RateLimitWaits }, 1)
+			c.sleep(ctx, next.Sub(now))
+			if ctx.Err() != nil {
+				return
+			}
+			now = c.now()
+		}
+		c.workerNext[w] = now.Add(iv)
+	}
+	if iv := c.cfg.TargetInterval; iv > 0 {
+		c.targetMu.Lock()
+		last, seen := c.lastProbe[t.idx]
+		if seen && now.Sub(last) < iv {
+			c.targetMu.Unlock()
+			c.bump(func(m *Metrics) *telemetry.Counter { return &m.RateLimitWaits }, 1)
+			t.notBefore = last.Add(iv)
+			c.queues[w].push(t)
+			return
+		}
+		c.lastProbe[t.idx] = now
+		c.targetMu.Unlock()
+	}
+
+	trial := t.attempt + t.deferrals
+	if d := c.cfg.Fault.spike(t.idx, trial); d > 0 {
+		c.sleep(ctx, d)
+		if ctx.Err() != nil {
+			return
+		}
+	}
+
+	switch c.cfg.Fault.decide(t.idx, trial) {
+	case failUnreachable:
+		c.bump(func(m *Metrics) *telemetry.Counter { return &m.TargetsAbandoned }, 1)
+		c.finish(w, t.idx, trial+1, core.Identification{Reason: ReasonUnreachable})
+
+	case failTimeout:
+		t.attempt++
+		if t.attempt >= c.cfg.maxAttempts() {
+			c.bump(func(m *Metrics) *telemetry.Counter { return &m.TargetsAbandoned }, 1)
+			c.finish(w, t.idx, trial+1, core.Identification{Reason: ReasonRetriesExhausted})
+			return
+		}
+		c.bump(func(m *Metrics) *telemetry.Counter { return &m.Retries }, 1)
+		c.requeueAfter(w, t, c.backoffDelay(t.idx, t.attempt, 0))
+
+	case failRateLimited:
+		t.deferrals++
+		if t.deferrals >= c.cfg.maxDeferrals() {
+			c.bump(func(m *Metrics) *telemetry.Counter { return &m.TargetsAbandoned }, 1)
+			c.finish(w, t.idx, trial+1, core.Identification{Reason: ReasonDeferralsExhausted})
+			return
+		}
+		c.bump(func(m *Metrics) *telemetry.Counter { return &m.Deferrals }, 1)
+		c.requeueAfter(w, t, c.backoffDelay(t.idx, t.deferrals, 1))
+
+	default:
+		rng := c.probeRNG(t.idx, t.attempt)
+		cond := c.db.Sample(rng)
+		if f := c.cfg.beforeProbe; f != nil {
+			f(w, t.idx, t.attempt, now)
+		}
+		// Pristine ssthresh cache per identification (see census.Run):
+		// without this, a target re-probed after a lost checkpoint record
+		// would see state from the pre-crash probe and the resumed tables
+		// could drift from the uninterrupted run's.
+		c.pop[t.idx].Server.ResetCache()
+		ident := sess.Identify(c.pop[t.idx].Server, cond, c.probeConfig(t.attempt), rng)
+		c.bump(func(m *Metrics) *telemetry.Counter { return &m.Probes }, 1)
+		c.finish(w, t.idx, trial+1, ident)
+	}
+}
+
+// requeueAfter schedules a retry/deferral after delay, floored by the
+// target's token bucket.
+func (c *Coordinator) requeueAfter(w int, t task, delay time.Duration) {
+	c.bump(func(m *Metrics) *telemetry.Counter { return &m.BackoffNanos }, int64(delay))
+	t.notBefore = c.now().Add(delay)
+	if iv := c.cfg.TargetInterval; iv > 0 {
+		c.targetMu.Lock()
+		last, seen := c.lastProbe[t.idx]
+		c.targetMu.Unlock()
+		if seen {
+			if floor := last.Add(iv); floor.After(t.notBefore) {
+				t.notBefore = floor
+				c.bump(func(m *Metrics) *telemetry.Counter { return &m.RateLimitWaits }, 1)
+			}
+		}
+	}
+	c.queues[w].push(t)
+}
+
+// backoffDelay is the deterministic exponential backoff with jitter for
+// retry/deferral n (1-based) of target idx. kind salts the jitter stream
+// (0 = retry, 1 = deferral).
+func (c *Coordinator) backoffDelay(idx, n, kind int) time.Duration {
+	d := c.cfg.backoffBase()
+	max := c.cfg.backoffMax()
+	for i := 1; i < n && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	jitter := 0.5 + xrand.New(mix(c.cfg.Seed, int64(idx)|int64(kind+1)<<60, int64(n))).Float64()
+	return time.Duration(float64(d) * jitter)
+}
+
+// probeRNG seeds attempt a of target i. Attempt 0 uses census.Run's exact
+// per-target stream -- a fault-free shard run is outcome-identical to the
+// sequential census -- and retries derive fresh independent streams.
+func (c *Coordinator) probeRNG(i, attempt int) *rand.Rand {
+	if attempt == 0 {
+		return xrand.New(c.cfg.Seed + int64(i)*6700417)
+	}
+	return xrand.New(mix(c.cfg.Seed, int64(i), int64(1000+attempt)))
+}
+
+// probeConfig grows the pre-timeout gathering budget 50% per retry: the
+// timeout taxonomy assumes the target is slow, not silent.
+func (c *Coordinator) probeConfig(attempt int) probe.Config {
+	cfg := c.cfg.Probe
+	if attempt == 0 {
+		return cfg
+	}
+	pre := cfg.MaxPreRounds
+	if pre <= 0 {
+		pre = 40 // the prober's own default
+	}
+	cfg.MaxPreRounds = pre + attempt*pre/2
+	return cfg
+}
+
+// finish publishes a target's final outcome: the report slot, the
+// attempt histogram, the checkpoint, and the progress counters.
+func (c *Coordinator) finish(w, idx, attempts int, ident core.Identification) {
+	c.outcomes[idx] = census.Outcome{Truth: c.pop[idx], ID: ident}
+	c.done[idx].Store(true)
+	c.m.Attempts.Observe(int64(attempts))
+	if c.ext != nil {
+		c.ext.Attempts.Observe(int64(attempts))
+	}
+	if c.cfg.TargetInterval > 0 {
+		c.targetMu.Lock()
+		delete(c.lastProbe, idx)
+		c.targetMu.Unlock()
+	}
+	if c.ckpt != nil {
+		if err := c.ckpt.append(recordOf(idx, attempts, ident)); err != nil {
+			// Durability degraded, correctness intact: the outcome stays
+			// in memory and a resume re-probes it deterministically.
+			c.bump(func(m *Metrics) *telemetry.Counter { return &m.CheckpointFailures }, 1)
+		} else {
+			c.bump(func(m *Metrics) *telemetry.Counter { return &m.CheckpointWrites }, 1)
+		}
+	}
+	c.workerDone[w].Add(1)
+	c.completed.Add(1)
+	c.remaining.Add(-1)
+}
+
+// bump adds n to one counter in the per-run metrics and mirrors it into
+// the shared sink when configured.
+func (c *Coordinator) bump(get func(*Metrics) *telemetry.Counter, n int64) {
+	get(&c.m).Add(n)
+	if c.ext != nil {
+		get(c.ext).Add(n)
+	}
+}
+
+func (c *Coordinator) now() time.Time {
+	if c.cfg.nowFn != nil {
+		return c.cfg.nowFn()
+	}
+	return time.Now()
+}
+
+func (c *Coordinator) sleep(ctx context.Context, d time.Duration) {
+	if c.cfg.sleepFn != nil {
+		c.cfg.sleepFn(ctx, d)
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// Progress snapshots the run. Safe to call concurrently with Run.
+func (c *Coordinator) Progress() Progress {
+	p := Progress{
+		Targets:            len(c.pop),
+		Completed:          int(c.completed.Load()),
+		Resumed:            c.resumed,
+		Probes:             c.m.Probes.Load(),
+		Retries:            c.m.Retries.Load(),
+		Deferrals:          c.m.Deferrals.Load(),
+		RateLimitWaits:     c.m.RateLimitWaits.Load(),
+		Steals:             c.m.Steals.Load(),
+		TargetsAbandoned:   c.m.TargetsAbandoned.Load(),
+		BackoffSeconds:     float64(c.m.BackoffNanos.Load()) / float64(time.Second),
+		CheckpointWrites:   c.m.CheckpointWrites.Load(),
+		CheckpointFailures: c.m.CheckpointFailures.Load(),
+		CheckpointSkipped:  c.skipped,
+		Attempts:           c.m.Attempts.Snapshot(),
+	}
+	p.Workers = make([]WorkerProgress, len(c.queues))
+	for w := range c.queues {
+		p.Workers[w] = WorkerProgress{
+			Assigned:  c.assigned[w],
+			Completed: c.workerDone[w].Load(),
+			Crashed:   c.crashed[w].Load(),
+		}
+	}
+	return p
+}
+
+// Report aggregates the targets completed so far, in population order.
+// After a clean Run it is the full census report (Total = population);
+// mid-run or after an interrupted one it covers completed targets only,
+// which is how the service serves partial demographic tables.
+func (c *Coordinator) Report() *census.Report {
+	outcomes := make([]census.Outcome, 0, c.completed.Load())
+	for i := range c.done {
+		if c.done[i].Load() {
+			outcomes = append(outcomes, c.outcomes[i])
+		}
+	}
+	return census.Aggregate(outcomes)
+}
+
+// Run shards, probes, and aggregates in one call: the sharded
+// counterpart of census.Run, returning the (possibly partial) report,
+// final progress, and the run error.
+func Run(ctx context.Context, pop []census.GroundTruth, id *core.Identifier, db *netem.Database, cfg Config) (*census.Report, Progress, error) {
+	c, err := New(pop, id, db, cfg)
+	if err != nil {
+		return nil, Progress{}, err
+	}
+	err = c.Run(ctx)
+	return c.Report(), c.Progress(), err
+}

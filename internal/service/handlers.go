@@ -17,6 +17,7 @@ import (
 //	POST /v1/identify       synchronous single identification
 //	POST /v1/batch          submit an async batch; 202 + job ID
 //	POST /v1/pcap           upload a packet capture; async per-flow labels
+//	POST /v1/census         launch a sharded census; 202 + job ID
 //	GET  /v1/jobs/{id}      poll batch status and results
 //	DELETE /v1/jobs/{id}    cancel a queued or running batch
 //	GET  /v1/models         list registered models
@@ -29,6 +30,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/identify", s.handleIdentify)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/pcap", s.handlePcap)
+	mux.HandleFunc("POST /v1/census", s.handleCensus)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/models", s.handleModels)
@@ -101,6 +103,15 @@ func writeBodyError(w http.ResponseWriter, err error) {
 	writeError(w, status, "%v", err)
 }
 
+// writeQueueFull answers transient back-pressure (errQueueFull) with 429
+// and a Retry-After hint. Distinct from the terminal 503 of shutdown:
+// a 429 tells clients the same request will succeed once the queue (or
+// the sync backlog) drains.
+func writeQueueFull(w http.ResponseWriter, err error) {
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusTooManyRequests, "%v", err)
+}
+
 func (s *Service) handleIdentify(w http.ResponseWriter, r *http.Request) {
 	var req IdentifyRequest
 	if err := decodeBody(w, r, &req); err != nil {
@@ -109,6 +120,12 @@ func (s *Service) handleIdentify(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := s.identify(r.Context(), req.Model, req.JobSpec)
 	if err != nil {
+		if errors.Is(err, errQueueFull) {
+			// The sync backlog is saturated: shed load now instead of
+			// parking another goroutine on the probe semaphore.
+			writeQueueFull(w, err)
+			return
+		}
 		status := http.StatusBadRequest
 		switch {
 		case errors.Is(err, ErrNoModel):
@@ -133,7 +150,9 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 	j, err := s.submit(req)
 	if err != nil {
 		switch {
-		case errors.Is(err, errQueueFull), errors.Is(err, errShuttingDown):
+		case errors.Is(err, errQueueFull):
+			writeQueueFull(w, err)
+		case errors.Is(err, errShuttingDown):
 			writeError(w, http.StatusServiceUnavailable, "%v", err)
 		case errors.Is(err, ErrNoModel):
 			writeError(w, http.StatusNotFound, "%v", err)

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/census/shard"
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/telemetry"
@@ -23,6 +24,14 @@ type metrics struct {
 	jobsFailed     atomic.Int64 // cancelled or shut down mid-run
 	inFlight       atomic.Int64 // probes currently executing (sync + batch)
 	modelsReloaded atomic.Int64
+	syncRejected   atomic.Int64 // sync identifies shed by the backlog bound (429)
+
+	// censusJobs counts census campaigns accepted on POST /v1/census;
+	// census is the process-wide sink every campaign's coordinator mirrors
+	// its fault-tolerance counters into (retries, backoff, steals,
+	// checkpoint writes, abandoned targets, per-target attempt histogram).
+	censusJobs atomic.Int64
+	census     shard.Metrics
 
 	// Capture-ingestion counters (POST /v1/pcap).
 	pcapUploads           atomic.Int64 // capture uploads received
@@ -132,6 +141,7 @@ type MetricsSnapshot struct {
 	JobsCompleted  int64 `json:"batch_jobs_completed"`
 	JobsFailed     int64 `json:"batch_jobs_failed"`
 	ModelsReloaded int64 `json:"models_reloaded"`
+	SyncRejected   int64 `json:"sync_rejected"`
 
 	Cache struct {
 		Hits    int64   `json:"hits"`
@@ -174,6 +184,25 @@ type MetricsSnapshot struct {
 		Bytes        int64   `json:"bytes"`
 		DecodeMs     float64 `json:"decode_ms"`
 	} `json:"pcap"`
+
+	// Census aggregates the fault-tolerance counters of every census
+	// campaign run through POST /v1/census: probe retries and their
+	// accumulated backoff, rate-limit deferrals, work steals, abandoned
+	// targets, checkpoint writes, and the per-target contact-attempt
+	// histogram (Attempts). Jobs counts accepted campaigns.
+	Census struct {
+		Jobs             int64                       `json:"jobs"`
+		Probes           int64                       `json:"probes"`
+		Retries          int64                       `json:"retries"`
+		Deferrals        int64                       `json:"deferrals"`
+		RateLimitWaits   int64                       `json:"rate_limit_waits"`
+		Steals           int64                       `json:"steals"`
+		TargetsAbandoned int64                       `json:"targets_abandoned"`
+		BackoffSeconds   float64                     `json:"backoff_seconds"`
+		CheckpointWrites int64                       `json:"checkpoint_writes"`
+		WorkerCrashes    int64                       `json:"worker_crashes"`
+		Attempts         telemetry.CountHistSnapshot `json:"attempts"`
+	} `json:"census"`
 
 	// Stages summarizes the per-stage pipeline latency histograms (see
 	// internal/telemetry: queue_wait, gather, feature, classify, cache);
@@ -237,6 +266,19 @@ func (s *Service) snapshot() MetricsSnapshot {
 	out.JobsCompleted = m.jobsCompleted.Load()
 	out.JobsFailed = m.jobsFailed.Load()
 	out.ModelsReloaded = m.modelsReloaded.Load()
+	out.SyncRejected = m.syncRejected.Load()
+
+	out.Census.Jobs = m.censusJobs.Load()
+	out.Census.Probes = m.census.Probes.Load()
+	out.Census.Retries = m.census.Retries.Load()
+	out.Census.Deferrals = m.census.Deferrals.Load()
+	out.Census.RateLimitWaits = m.census.RateLimitWaits.Load()
+	out.Census.Steals = m.census.Steals.Load()
+	out.Census.TargetsAbandoned = m.census.TargetsAbandoned.Load()
+	out.Census.BackoffSeconds = time.Duration(m.census.BackoffNanos.Load()).Seconds()
+	out.Census.CheckpointWrites = m.census.CheckpointWrites.Load()
+	out.Census.WorkerCrashes = m.census.WorkerCrashes.Load()
+	out.Census.Attempts = m.census.Attempts.Snapshot()
 
 	out.Cache.Hits = m.cacheHits.Load()
 	out.Cache.Misses = m.cacheMisses.Load()

@@ -74,6 +74,22 @@ func TestMetricsPrometheusExposition(t *testing.T) {
 		}
 	}
 
+	// Every census family is present even before any census ran, so
+	// dashboards can predeclare queries against a fresh server.
+	for _, want := range []string{
+		"# TYPE caai_census_jobs_total counter",
+		"caai_census_probes_total 0",
+		"caai_census_retries_total 0",
+		"caai_census_backoff_seconds_total 0",
+		"caai_census_targets_abandoned_total 0",
+		"caai_sync_rejected_total 0",
+		`caai_census_attempts_bucket{le="+Inf"} 0`,
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("prometheus exposition missing %q", want)
+		}
+	}
+
 	// Accept negotiation selects Prometheus too; plain GET stays JSON.
 	if ct, _ := fetchMetrics(t, ts.URL, "", "text/plain; version=0.0.4"); ct != telemetry.PromContentType {
 		t.Errorf("Accept: text/plain negotiated content type %q", ct)

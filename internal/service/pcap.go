@@ -59,7 +59,11 @@ func (s *Service) handlePcap(w http.ResponseWriter, r *http.Request) {
 		gatherSpan: decodeSpan,
 	})
 	if err != nil {
-		if errors.Is(err, errQueueFull) || errors.Is(err, errShuttingDown) {
+		if errors.Is(err, errQueueFull) {
+			writeQueueFull(w, err)
+			return
+		}
+		if errors.Is(err, errShuttingDown) {
 			writeError(w, http.StatusServiceUnavailable, "%v", err)
 			return
 		}

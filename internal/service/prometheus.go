@@ -46,6 +46,20 @@ func (s *Service) writePrometheus(w io.Writer) error {
 	pw.Counter("caai_batch_jobs_completed_total", "Async jobs finished successfully.", snap.JobsCompleted)
 	pw.Counter("caai_batch_jobs_failed_total", "Async jobs cancelled or failed.", snap.JobsFailed)
 	pw.Counter("caai_models_reloaded_total", "Model hot-swaps applied.", snap.ModelsReloaded)
+	pw.Counter("caai_sync_rejected_total", "Sync identifies shed by the backlog bound (429).", snap.SyncRejected)
+
+	pw.Counter("caai_census_jobs_total", "Census campaigns accepted on POST /v1/census.", snap.Census.Jobs)
+	pw.Counter("caai_census_probes_total", "Census probes executed (injected faults excluded).", snap.Census.Probes)
+	pw.Counter("caai_census_retries_total", "Census probe attempts re-queued after a transient timeout.", snap.Census.Retries)
+	pw.Counter("caai_census_deferrals_total", "Census rate-limited attempts deferred without consuming an attempt.", snap.Census.Deferrals)
+	pw.Counter("caai_census_rate_limit_waits_total", "Census probes delayed by per-target/per-worker token buckets.", snap.Census.RateLimitWaits)
+	pw.Counter("caai_census_steals_total", "Census work batches stolen from another worker's queue.", snap.Census.Steals)
+	pw.Counter("caai_census_targets_abandoned_total", "Census targets abandoned (retries/deferrals exhausted or unreachable).", snap.Census.TargetsAbandoned)
+	pw.FloatCounter("caai_census_backoff_seconds_total", "Total scheduled census retry/deferral backoff delay.", snap.Census.BackoffSeconds)
+	pw.Counter("caai_census_checkpoint_writes_total", "Census checkpoint records durably appended.", snap.Census.CheckpointWrites)
+	pw.Counter("caai_census_worker_crashes_total", "Census worker deaths injected by fault plans.", snap.Census.WorkerCrashes)
+	pw.CountHistogram("caai_census_attempts", "Per-target census contact attempts consumed (1 = first-try success).",
+		nil, snap.Census.Attempts)
 
 	pw.Counter("caai_cache_hits_total", "Result-cache hits (incl. coalesced followers).", snap.Cache.Hits)
 	pw.Counter("caai_cache_misses_total", "Result-cache misses.", snap.Cache.Misses)

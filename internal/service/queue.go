@@ -19,10 +19,11 @@ const (
 	StateCancelled = "cancelled"
 )
 
-// job is one accepted async unit of work -- a probe batch (specs) or a
-// pcap capture's flow pairs (pcap) -- with its mutable progress and a
-// cancel handle. The executor writes results as probes or classifications
-// complete; status polls read a consistent snapshot under mu.
+// job is one accepted async unit of work -- a probe batch (specs), a
+// pcap capture's flow pairs (pcap), or a sharded census (census) -- with
+// its mutable progress and a cancel handle. The executor writes results
+// as probes or classifications complete; status polls read a consistent
+// snapshot under mu.
 type job struct {
 	id    string
 	model string
@@ -30,7 +31,12 @@ type job struct {
 	// pcap carries a capture job's reassembled flow pairs; nil for probe
 	// batches. The worker dispatches on it.
 	pcap []flow.FlowIdentification
-	// total is the number of result slots (len(specs) or len(pcap)).
+	// census carries a census job's request and live coordinator; nil
+	// otherwise. Census jobs report progress through the coordinator
+	// instead of per-slot results.
+	census *censusState
+	// total is the number of result slots (len(specs) or len(pcap)), or
+	// the population size for a census job.
 	total int
 	// enqueuedAt stamps queue admission; the worker observes the
 	// dequeue-to-start delta as the job-level queue_wait span.
@@ -122,6 +128,11 @@ func (j *job) status() JobStatus {
 	if j.state == StateDone {
 		st.Results = append([]IdentifyResponse(nil), j.results...)
 	}
+	if j.census != nil {
+		// Census progress lives in the coordinator, not the per-slot
+		// counters; the augment also attaches the (partial) Table IV.
+		j.census.augment(&st)
+	}
 	return st
 }
 
@@ -145,7 +156,11 @@ func (s *Service) submit(req BatchRequest) (*job, error) {
 func (s *Service) enqueue(j *job) (*job, error) {
 	j.ctx, j.cancel = context.WithCancel(s.ctx)
 	j.state = StateQueued
-	j.results = make([]IdentifyResponse, j.total)
+	if j.census == nil {
+		// Census jobs keep their outcomes in the coordinator; allocating
+		// a population-sized response slice here would only pin memory.
+		j.results = make([]IdentifyResponse, j.total)
+	}
 	s.jobMu.Lock()
 	s.nextJob++
 	j.id = fmt.Sprintf("job-%d", s.nextJob)
@@ -184,8 +199,10 @@ func (s *Service) enqueue(j *job) (*job, error) {
 	}
 }
 
-// errQueueFull and errShuttingDown mark rejected submissions (mapped to
-// 503 by the handler).
+// errQueueFull and errShuttingDown mark rejected submissions. A full
+// queue is transient back-pressure, answered 429 with a Retry-After so
+// well-behaved clients pace themselves; shutdown is terminal and answers
+// 503.
 var (
 	errQueueFull    = fmt.Errorf("service: job queue is full, retry later")
 	errShuttingDown = fmt.Errorf("service: shutting down, not accepting jobs")
@@ -236,9 +253,12 @@ func (s *Service) worker() {
 			}
 			s.metrics.pipeline.Observe(telemetry.StageQueueWait, time.Since(j.enqueuedAt))
 			s.metrics.workersBusy.Add(1)
-			if j.pcap != nil {
+			switch {
+			case j.census != nil:
+				s.runCensus(j)
+			case j.pcap != nil:
 				s.runPcap(j)
-			} else {
+			default:
 				s.runBatch(j)
 			}
 			s.metrics.workersBusy.Add(-1)

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -30,8 +31,10 @@ type Config struct {
 	// CacheSize bounds the LRU result cache; 0 means DefaultCacheSize,
 	// negative disables caching.
 	CacheSize int
-	// QueueSize bounds the pending async batch jobs; 0 means
-	// DefaultQueueSize. Submissions beyond it are rejected with 503.
+	// QueueSize bounds the pending async batch jobs AND the synchronous
+	// /v1/identify backlog (requests parked waiting for a probe slot);
+	// 0 means DefaultQueueSize. Submissions beyond either bound are shed
+	// with 429 + Retry-After.
 	QueueSize int
 	// Workers is how many batch jobs execute concurrently; 0 means 1.
 	// Each running job fans its probes out on the engine pool.
@@ -91,6 +94,10 @@ type Service struct {
 	// syncSem bounds concurrent synchronous-path probes at
 	// cfg.Parallelism, mirroring the engine pool bound on the batch path.
 	syncSem chan struct{}
+	// syncWaiting counts sync requests parked on (or acquiring) syncSem.
+	// Bounded at cfg.QueueSize: past that, /v1/identify sheds load with
+	// errQueueFull instead of stacking goroutines without limit.
+	syncWaiting atomic.Int64
 
 	// flight coalesces concurrent identical sync identifications: the
 	// first request probes, later ones wait for its result instead of
@@ -265,11 +272,21 @@ func (s *Service) identify(ctx context.Context, modelName string, spec JobSpec) 
 		close(c.done)
 	}()
 
+	// Backlog bound: every probe slot busy plus QueueSize callers already
+	// parked means this request would only deepen the pile-up. Shedding it
+	// now (429 upstream) keeps sync latency honest under overload.
+	if n := s.syncWaiting.Add(1); n > int64(s.cfg.QueueSize) {
+		s.syncWaiting.Add(-1)
+		s.metrics.syncRejected.Add(1)
+		return IdentifyResponse{}, errQueueFull
+	}
 	select {
 	case s.syncSem <- struct{}{}:
 	case <-ctx.Done():
+		s.syncWaiting.Add(-1)
 		return IdentifyResponse{}, ctx.Err()
 	}
+	s.syncWaiting.Add(-1)
 	defer func() { <-s.syncSem }()
 	clock.Lap(&tm, telemetry.StageQueueWait)
 	s.metrics.pipeline.Observe(telemetry.StageQueueWait, tm[telemetry.StageQueueWait])

@@ -279,7 +279,7 @@ func TestBatchValidationAndUnknownJob(t *testing.T) {
 	}
 }
 
-func TestBatchQueueFullRejectsWith503(t *testing.T) {
+func TestBatchQueueFullRejectsWith429(t *testing.T) {
 	gate := make(chan struct{})
 	model := &fakeClassifier{Label: "RENO", Confidence: 1, gate: gate}
 	s, ts := newTestService(t, Config{Workers: 1, QueueSize: 1, Parallelism: 1}, model)
@@ -308,8 +308,11 @@ func TestBatchQueueFullRejectsWith503(t *testing.T) {
 	resp, data = postJSON(t, ts.URL+"/v1/batch", map[string]any{
 		"jobs": []map[string]any{{"server": map[string]any{"algorithm": "RENO"}, "seed": 3}},
 	})
-	if resp.StatusCode != http.StatusServiceUnavailable {
+	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("overflow submit: %d (%s)", resp.StatusCode, data)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without a Retry-After header")
 	}
 }
 

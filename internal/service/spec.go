@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/cc"
+	"repro/internal/census/shard"
 	"repro/internal/core"
 	"repro/internal/netem"
 	"repro/internal/telemetry"
@@ -303,6 +304,47 @@ type JobStatus struct {
 	CacheHits int                `json:"cache_hits"`
 	Error     string             `json:"error,omitempty"`
 	Results   []IdentifyResponse `json:"results,omitempty"`
+	// Census carries a census job's progress and demographic table;
+	// absent for batch and capture jobs.
+	Census *CensusStatus `json:"census,omitempty"`
+}
+
+// CensusRequest is the POST /v1/census body: generate a synthetic server
+// population and measure it through the fault-tolerant sharded runner
+// (internal/census/shard), producing the paper's Table IV demographics.
+// Checkpointing is not exposed over the API -- accepting a client-supplied
+// directory would let any client write server-side paths (same rationale
+// as the reload endpoint refusing client paths); use cmd/caai-census for
+// resumable campaigns.
+type CensusRequest struct {
+	// Model selects a registry model by name; empty uses the default.
+	Model string `json:"model,omitempty"`
+	// Servers is the population size (required; capped at
+	// MaxCensusServers so one request cannot pin a census the size of
+	// the paper's full 63 124-server study without operator involvement).
+	Servers int `json:"servers"`
+	// Seed drives population generation and probing, following the
+	// experiments package's derivation (population Seed+77, probing
+	// Seed+99) so a service census reproduces cmd/caai-census's table
+	// for the same seed and model. 0 is normalized to 2011.
+	Seed int64 `json:"seed,omitempty"`
+	// Workers is the shard count (0 = engine default parallelism).
+	Workers int `json:"workers,omitempty"`
+	// MaxAttempts and MaxDeferrals bound the retry taxonomy (0 = the
+	// shard package defaults: 4 attempts, 8 deferrals).
+	MaxAttempts  int `json:"max_attempts,omitempty"`
+	MaxDeferrals int `json:"max_deferrals,omitempty"`
+	// Fault optionally injects a deterministic fault plan, exercising
+	// the retry/steal/abandon machinery end to end over the API.
+	Fault *shard.FaultPlan `json:"fault,omitempty"`
+}
+
+// CensusStatus is the census slice of a JobStatus: the sharded runner's
+// progress counters and the Table IV rendering over completed targets --
+// partial while the job runs, final once it is done.
+type CensusStatus struct {
+	Progress shard.Progress `json:"progress"`
+	TableIV  string         `json:"table_iv,omitempty"`
 }
 
 // errorResponse is the JSON error envelope every non-2xx response uses.

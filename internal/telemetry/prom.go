@@ -84,6 +84,13 @@ func (p *PromWriter) Counter(name, help string, v int64) {
 	p.printf("%s %d\n", name, v)
 }
 
+// FloatCounter writes one counter family whose sample is a monotonic
+// float total (e.g. accumulated seconds).
+func (p *PromWriter) FloatCounter(name, help string, v float64) {
+	p.header(name, help, "counter")
+	p.printf("%s %s\n", name, formatFloat(v))
+}
+
 // CounterVec writes one counter family with one sample per label set.
 // samples maps the rendered label value (for the given label name) to the
 // count; keys are emitted sorted.
@@ -131,6 +138,29 @@ func (p *PromWriter) HistogramSamples(name string, labels map[string]string, s H
 	cum += s.Buckets[NumHistBuckets-1]
 	p.printf("%s_bucket%s %d\n", name, bucketLabels("+Inf"), cum)
 	p.printf("%s_sum%s %s\n", name, ls, formatFloat(s.Sum.Seconds()))
+	p.printf("%s_count%s %d\n", name, ls, s.Count)
+}
+
+// CountHistogram writes one small-integer histogram family: cumulative le
+// buckets at the exact values 0..NumCountBuckets-2, +Inf for the overflow,
+// then _sum and _count. Values are plain counts (not seconds).
+func (p *PromWriter) CountHistogram(name, help string, labels map[string]string, s CountHistSnapshot) {
+	p.header(name, help, "histogram")
+	ls := labelString(labels)
+	bucketLabels := func(le string) string {
+		if ls == "" {
+			return `{le="` + le + `"}`
+		}
+		return ls[:len(ls)-1] + `,le="` + le + `"}`
+	}
+	var cum int64
+	for i := 0; i < NumCountBuckets-1; i++ {
+		cum += s.Buckets[i]
+		p.printf("%s_bucket%s %d\n", name, bucketLabels(strconv.Itoa(i)), cum)
+	}
+	cum += s.Buckets[NumCountBuckets-1]
+	p.printf("%s_bucket%s %d\n", name, bucketLabels("+Inf"), cum)
+	p.printf("%s_sum%s %d\n", name, ls, s.Sum)
 	p.printf("%s_count%s %d\n", name, ls, s.Count)
 }
 

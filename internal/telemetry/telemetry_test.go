@@ -256,9 +256,9 @@ func TestStageNames(t *testing.T) {
 // label merging on bucket samples.
 func TestPromHistogramExposition(t *testing.T) {
 	var h Histogram
-	h.Observe(time.Microsecond)         // bucket 0
-	h.Observe(500 * time.Microsecond)   // bucket 9
-	h.Observe(500 * time.Microsecond)   // bucket 9
+	h.Observe(time.Microsecond)       // bucket 0
+	h.Observe(500 * time.Microsecond) // bucket 9
+	h.Observe(500 * time.Microsecond) // bucket 9
 	var b strings.Builder
 	pw := NewPromWriter(&b)
 	pw.Histogram("caai_test_seconds", "test family", map[string]string{"stage": "gather"}, h.Snapshot())

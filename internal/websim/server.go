@@ -156,6 +156,19 @@ func (s *Server) connOptions(mss, requests int, pageBytes int64, now time.Durati
 	return opts, nil
 }
 
+// ResetCache forgets the cached slow start threshold, as if the paper's
+// inter-measurement wait let the route metrics expire. Census runners
+// call it before each identification so a server's outcome is a pure
+// function of its spec and the probe seed, independent of how many times
+// earlier runs or retries probed it. (Caching *within* one
+// identification -- the behaviour CAAI must see through -- is untouched:
+// it builds up between a single gathering's environments.)
+func (s *Server) ResetCache() {
+	s.cachedSsthresh = 0
+	s.cachedAt = 0
+	s.hasCache = false
+}
+
 // Close ends a connection at time now, caching the slow start threshold
 // when the server implements threshold caching.
 func (s *Server) Close(sender *tcpsim.Sender, now time.Duration) {
