@@ -394,6 +394,13 @@ func BenchmarkPcapIngest(b *testing.B) {
 	bench.PcapIngest(model)(b)
 }
 
+// BenchmarkPcapStreamIngest measures the streaming pipeline (bounded
+// ring, sharded decode, online flow tracking) over a live-monitoring
+// workload of concurrent MTU-sized bulk transfers (MB/s of capture).
+func BenchmarkPcapStreamIngest(b *testing.B) {
+	bench.PcapStreamIngest()(b)
+}
+
 // BenchmarkServiceIdentify measures the HTTP service path of
 // internal/service end to end (JSON decode, registry lookup, cache,
 // pipeline, JSON encode): "hit" serves one request repeatedly from the

@@ -60,6 +60,7 @@
 package caai
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -119,6 +120,13 @@ type (
 	// CaptureOptions tunes capture ingestion (tracker bounds,
 	// classification parallelism, optional per-stage span recording).
 	CaptureOptions = flow.IdentifyOptions
+	// StreamOptions tunes Identifier.IdentifyStream (decode sharding,
+	// ingest ring size, tracker bounds, pairing depth).
+	StreamOptions = flow.IdentifyStreamOptions
+	// CaptureStream is a running streaming-identification pipeline: an
+	// io.Writer fed capture bytes, emitting classified flows as they
+	// close (see Identifier.IdentifyStream).
+	CaptureStream = flow.IdentifyStream
 	// StageTimings is one identification's per-stage wall-clock span
 	// breakdown (see Identification.Timings and IdentifyTimed); index it
 	// with the Stage* constants.
@@ -269,6 +277,21 @@ func (id *Identifier) IdentifyBatch(jobs []BatchJob, opts BatchOptions) []BatchR
 // service's POST /v1/pcap for the HTTP one.
 func (id *Identifier) IdentifyCapture(r io.Reader, opts CaptureOptions) ([]FlowIdentification, CaptureStats, error) {
 	return flow.IdentifyCapture(r, id.model, opts)
+}
+
+// IdentifyStream starts the streaming form of IdentifyCapture for live
+// or unbounded captures: write pcap/pcapng bytes into the returned
+// stream as they arrive (any chunking) and onResult fires -- serially,
+// from the pipeline's emitter goroutine -- for each flow pair the moment
+// it closes, rather than at end of input. Flows close when idle past the
+// expiry threshold, when evicted by the tracker bound, or when Close
+// drains the pipeline. Decode parallelizes across 4-tuple shards; every
+// pipeline stage is bounded, so Write blocks (backpressure) instead of
+// growing memory when classification falls behind. Callers must Close
+// (or Abort) the stream exactly once. See cmd/caai-pcap -follow and the
+// service's POST /v1/pcap/stream for the command-line and HTTP fronts.
+func (id *Identifier) IdentifyStream(ctx context.Context, opts StreamOptions, onResult func(FlowIdentification)) *CaptureStream {
+	return flow.NewIdentifyStream(ctx, id.model, opts, onResult)
 }
 
 // SaveModel writes the trained model to path so later runs can LoadModel

@@ -12,10 +12,17 @@
 //	caai-pcap -conditions 12 capture.pcap          (train a fresh model)
 //	caai-pcap -model model.json -json capture.pcap
 //	cat capture.pcap | caai-pcap -model model.json -
+//	tcpdump -i eth0 -w - | caai-pcap -model model.json -follow -
 //	caai-pcap -gen CUBIC2,RENO,VEGAS -o capture.pcap
+//
+// -follow switches to the streaming pipeline: flows are classified and
+// printed the moment they close (idle past the expiry threshold), so an
+// endless live capture produces a continuous result stream in bounded
+// memory instead of buffering until EOF.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -47,6 +54,7 @@ func run(args []string, stdout io.Writer) error {
 	parallelism := fs.Int("parallelism", 0, "classification parallelism (0 = all CPUs)")
 	timings := fs.Bool("timings", false, "record and report per-stage wall-clock timings (decode, feature, classify)")
 	maxFlows := fs.Int("max-flows", 0, "bound on concurrently tracked flows (0 = default)")
+	follow := fs.Bool("follow", false, "stream continuously: classify and print each flow as it closes (idle flows expire) instead of waiting for end of input; suits endless live captures on stdin")
 	gen := fs.String("gen", "", "generate a synthetic capture for the comma-separated algorithms instead of ingesting one")
 	out := fs.String("o", "", "output file for -gen (default stdout)")
 	format := fs.String("format", "pcap", "capture format for -gen (pcap or pcapng)")
@@ -94,6 +102,10 @@ func run(args []string, stdout io.Writer) error {
 		r = f
 	}
 
+	if *follow {
+		return followStream(stdout, id, r, *jsonOut, *maxFlows, *parallelism)
+	}
+
 	opts := caai.CaptureOptions{Parallelism: *parallelism, Timings: *timings}
 	opts.Tracker.MaxFlows = *maxFlows
 	pairs, stats, err := id.IdentifyCapture(r, opts)
@@ -108,6 +120,49 @@ func run(args []string, stdout io.Writer) error {
 		writeTimingsSummary(stdout, pairs)
 	}
 	return nil
+}
+
+// followStream runs the streaming pipeline: capture bytes in (typically
+// an endless live capture piped to stdin), one result line out per flow
+// pair as it closes. With -json each line is a self-contained JSON
+// object (NDJSON); otherwise a table row prints under a one-time header.
+func followStream(stdout io.Writer, id *caai.Identifier, r io.Reader, jsonOut bool, maxFlows, parallelism int) error {
+	var opts caai.StreamOptions
+	opts.Stream.Tracker.MaxFlows = maxFlows
+	opts.Stream.Shards = parallelism
+	enc := json.NewEncoder(stdout)
+	if !jsonOut {
+		fmt.Fprintf(stdout, "%-22s %-22s %7s %8s  %s\n", "SERVER", "CLIENT", "PKTS", "RTT", "IDENTIFICATION")
+	}
+	var results int64
+	st := id.IdentifyStream(context.Background(), opts, func(p caai.FlowIdentification) {
+		results++
+		if jsonOut {
+			_ = enc.Encode(toJSONResult(p))
+			return
+		}
+		client := p.A.Client
+		pkts := p.A.Packets
+		if p.B != nil {
+			client += "+"
+			pkts += p.B.Packets
+		}
+		fmt.Fprintf(stdout, "%-22s %-22s %7d %8s  %s\n",
+			p.A.Server, client, pkts, p.A.RTT.Round(time.Millisecond), p.ID)
+	})
+	_, cerr := io.Copy(st, r)
+	err := st.Close()
+	if err == nil {
+		err = cerr
+	}
+	stats := st.Stats()
+	if jsonOut {
+		_ = enc.Encode(map[string]any{"stats": stats})
+	} else {
+		fmt.Fprintf(stdout, "\n%d packets, %d TCP segments, %d flows (%d classifiable), %d results\n",
+			stats.Packets, stats.TCPSegments, stats.Flows, stats.Classifiable, results)
+	}
+	return err
 }
 
 // writeTimingsSummary totals the per-stage spans over every classified

@@ -2,11 +2,13 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"net/netip"
 	"strings"
 	"testing"
 	"time"
@@ -20,6 +22,7 @@ import (
 	"repro/internal/flow"
 	"repro/internal/forest"
 	"repro/internal/netem"
+	"repro/internal/pcap"
 	"repro/internal/pcapgen"
 	"repro/internal/probe"
 	"repro/internal/service"
@@ -41,6 +44,7 @@ func Suite(ctx *experiments.Context) ([]Case, error) {
 		{Name: "feature/extract", Bench: FeatureExtraction()},
 		{Name: "engine/identify_batch", Bench: IdentifyBatch(model, 64)},
 		{Name: "pcap/ingest", Bench: PcapIngest(model)},
+		{Name: "pcap/stream_ingest", Bench: PcapStreamIngest()},
 		{Name: "service/identify_hit", Bench: ServiceIdentify(model, false)},
 		{Name: "service/identify_miss", Bench: ServiceIdentify(model, true)},
 		{Name: "service/batch_blocks", Bench: ServiceBatchBlocks(model, 64)},
@@ -283,6 +287,89 @@ func PcapIngest(model classify.Classifier) func(*testing.B) {
 		}
 		if pairs != 2 {
 			b.Fatalf("capture yielded %d identifications, want 2", pairs)
+		}
+		b.ReportMetric(float64(len(data)), "capture-bytes/op")
+	}
+}
+
+// PcapStreamIngest measures the streaming pipeline -- bounded ring,
+// sharded decode with 4-tuple affinity, online flow tracking, epoch
+// expiry -- over a live-monitoring workload: dozens of concurrent bulk
+// transfers with MTU-sized segments interleaved packet by packet, the
+// shape a `tcpdump -w -` feed has (unlike pcap/ingest's small-MSS probe
+// capture). b.SetBytes reports MB/s of capture throughput.
+func PcapStreamIngest() func(*testing.B) {
+	return func(b *testing.B) {
+		const (
+			nflows = 64
+			rounds = 96
+			mss    = 1448
+		)
+		var buf bytes.Buffer
+		w, err := pcap.NewWriter(&buf, pcap.LinkEthernet, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := time.Unix(1700000000, 0)
+		var frame []byte
+		write := func(spec *pcap.FrameSpec) {
+			frame = pcap.AppendFrame(frame[:0], spec)
+			if err := w.WritePacket(ts, len(frame), frame); err != nil {
+				b.Fatal(err)
+			}
+			ts = ts.Add(37 * time.Microsecond)
+		}
+		type conn struct {
+			cli, srv netip.AddrPort
+			seq      uint32
+		}
+		conns := make([]conn, nflows)
+		for i := range conns {
+			conns[i] = conn{
+				cli: netip.AddrPortFrom(netip.AddrFrom4([4]byte{10, 0, byte(i >> 8), byte(i)}), uint16(40000+i)),
+				srv: netip.AddrPortFrom(netip.AddrFrom4([4]byte{192, 0, 2, byte(i % 8)}), 443),
+				seq: 1,
+			}
+		}
+		for i := range conns {
+			c := &conns[i]
+			write(&pcap.FrameSpec{Src: c.cli, Dst: c.srv, Flags: pcap.FlagSYN, Window: 65535,
+				Opt: pcap.TCPOptions{MSS: mss, HasMSS: true}})
+			write(&pcap.FrameSpec{Src: c.srv, Dst: c.cli, Ack: 1, Flags: pcap.FlagSYN | pcap.FlagACK,
+				Window: 65535, Opt: pcap.TCPOptions{MSS: mss, HasMSS: true}})
+			write(&pcap.FrameSpec{Src: c.cli, Dst: c.srv, Seq: 1, Ack: 1, Flags: pcap.FlagACK, Window: 65535})
+		}
+		for r := 0; r < rounds; r++ {
+			for i := range conns {
+				c := &conns[i]
+				write(&pcap.FrameSpec{Src: c.srv, Dst: c.cli, Seq: c.seq, Ack: 1,
+					Flags: pcap.FlagACK, Window: 65535, PayloadLen: mss})
+				c.seq += mss
+				if r%4 == 3 {
+					write(&pcap.FrameSpec{Src: c.cli, Dst: c.srv, Seq: 1, Ack: c.seq,
+						Flags: pcap.FlagACK, Window: 65535})
+				}
+			}
+		}
+		data := buf.Bytes()
+		b.SetBytes(int64(len(data)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		var flows int
+		for i := 0; i < b.N; i++ {
+			flows = 0
+			st := flow.NewStream(context.Background(), flow.StreamConfig{
+				Tracker: flow.Config{MaxFlows: 4 * nflows, MaxEmitted: -1},
+			}, func(*flow.FlowTrace) { flows++ })
+			if _, err := st.Write(data); err != nil {
+				b.Fatal(err)
+			}
+			if err := st.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if flows != nflows {
+			b.Fatalf("stream emitted %d flows, want %d", flows, nflows)
 		}
 		b.ReportMetric(float64(len(data)), "capture-bytes/op")
 	}

@@ -15,10 +15,13 @@
 package flow
 
 import (
+	"bytes"
+	"math"
 	"sort"
 	"time"
 
 	"repro/internal/pcap"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -31,8 +34,11 @@ type Config struct {
 	// flow keeps counting packets but stops recording windows and is
 	// marked truncated (default 256 -- a full probe gathering needs ~60).
 	MaxRounds int
-	// MaxEmitted bounds the flows a single capture may emit; beyond it
-	// the oldest-evicted flows are dropped and counted (default 65536).
+	// MaxEmitted bounds the flows a single capture may emit: once the cap
+	// fills, every flow that finishes later is dropped and counted, so
+	// the earliest-finishing flows are the ones kept. Negative disables
+	// the bound (streaming sinks hand flows off as they close, so nothing
+	// accumulates). Default 65536.
 	MaxEmitted int
 	// DefaultRTT seeds round bucketing when a flow has neither a
 	// handshake nor usable TCP timestamps (default 200ms).
@@ -40,6 +46,18 @@ type Config struct {
 	// MinRoundGap floors the round-boundary gap so sub-millisecond RTT
 	// estimates cannot split bursts (default 2ms).
 	MinRoundGap time.Duration
+
+	// Epoch is the idle-expiry sweep cadence in online mode (a Tracker
+	// with a Stream sink): every Epoch of capture time the tracker walks
+	// its LRU tail and emits flows idle past their own expiry threshold.
+	// It also floors that threshold, so a sweep never expires a flow
+	// whose silence an in-order sweep could not yet have observed.
+	// Ignored offline. Default 1s.
+	Epoch time.Duration
+	// IdleRTTs scales the per-flow idle-expiry threshold in online mode:
+	// a flow expires after max(IdleRTTs x RTT, Epoch) of silence, where
+	// RTT is the flow's estimate (DefaultRTT when unknown). Default 8.
+	IdleRTTs int
 }
 
 func (c Config) withDefaults() Config {
@@ -49,7 +67,7 @@ func (c Config) withDefaults() Config {
 	if c.MaxRounds <= 0 {
 		c.MaxRounds = 256
 	}
-	if c.MaxEmitted <= 0 {
+	if c.MaxEmitted == 0 {
 		c.MaxEmitted = 65536
 	}
 	if c.DefaultRTT <= 0 {
@@ -57,6 +75,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MinRoundGap <= 0 {
 		c.MinRoundGap = 2 * time.Millisecond
+	}
+	if c.Epoch <= 0 {
+		c.Epoch = time.Second
+	}
+	if c.IdleRTTs <= 0 {
+		c.IdleRTTs = 8
 	}
 	return c
 }
@@ -90,10 +114,8 @@ func keyOf(p *pcap.Packet) (flowKey, int) {
 }
 
 func less(x, y endpoint) bool {
-	for i := range x.ip {
-		if x.ip[i] != y.ip[i] {
-			return x.ip[i] < y.ip[i]
-		}
+	if c := bytes.Compare(x.ip[:], y.ip[:]); c != 0 {
+		return c < 0
 	}
 	return x.port < y.port
 }
@@ -183,6 +205,28 @@ type Stats struct {
 	Dropped int64
 	// Truncated counts flows whose round recording hit MaxRounds.
 	Truncated int64
+	// LiveHighWater is the most flows ever tracked at once; it never
+	// exceeds MaxFlows.
+	LiveHighWater int64
+	// Epochs counts idle-expiry sweeps run in online mode.
+	Epochs int64
+	// Expired counts flows emitted by idle expiry in online mode.
+	Expired int64
+}
+
+// TrackerMetrics publishes live tracker state through shared telemetry
+// instruments, safe to read from other goroutines while the tracker
+// runs. Several shard trackers may share one TrackerMetrics; the gauges
+// then aggregate across the whole pipeline. All fields are optional.
+type TrackerMetrics struct {
+	// Live is the number of currently tracked flows.
+	Live *telemetry.Gauge
+	// LiveHighWater is the most flows ever tracked at once.
+	LiveHighWater *telemetry.Gauge
+	// Epochs counts idle-expiry sweeps.
+	Epochs *telemetry.Counter
+	// Expired counts flows emitted by idle expiry.
+	Expired *telemetry.Counter
 }
 
 // Tracker reassembles flows from a packet stream. Feed packets with
@@ -198,6 +242,13 @@ type Tracker struct {
 	done  []*FlowTrace
 	stats Stats
 	rec   trace.Recorder // reused build buffer; emitted traces are Clones
+
+	// Online mode: emitted flows go to sink instead of done, and idle
+	// flows expire on epoch sweeps instead of waiting for Finish.
+	sink    func(*FlowTrace)
+	emitted int64     // flows emitted so far, for the MaxEmitted bound
+	epochAt time.Time // capture time the current epoch started
+	metrics *TrackerMetrics
 }
 
 // NewTracker returns a tracker with the given bounds.
@@ -208,25 +259,125 @@ func NewTracker(cfg Config) *Tracker {
 // Stats returns the running tracker counters.
 func (t *Tracker) Stats() Stats { return t.stats }
 
+// Live returns the number of currently tracked flows. Like every other
+// method it must run on the tracker's own goroutine; cross-goroutine
+// observation goes through Instrument.
+func (t *Tracker) Live() int { return len(t.flows) }
+
+// Stream switches the tracker to online mode: every finished flow --
+// idle-expired, evicted, or drained by Finish -- is handed to sink
+// instead of accumulating for Finish, and epoch sweeps (Config.Epoch,
+// Config.IdleRTTs) emit flows as soon as they have been idle past their
+// expiry threshold. sink runs synchronously on the Observe/Finish
+// goroutine and owns the FlowTrace it receives.
+func (t *Tracker) Stream(sink func(*FlowTrace)) {
+	t.sink = sink
+}
+
+// Instrument publishes tracker state through m's shared instruments (see
+// TrackerMetrics). Call before the first Observe.
+func (t *Tracker) Instrument(m *TrackerMetrics) { t.metrics = m }
+
 // Observe feeds one decoded TCP segment.
 func (t *Tracker) Observe(p *pcap.Packet) {
 	key, dir := keyOf(p)
 	s := t.flows[key]
+	if t.sink != nil {
+		// Online mode: a flow resuming after its own idle-expiry window
+		// was already conceptually emitted -- close it out and let the
+		// resumption start a fresh flow. This keeps the split independent
+		// of epoch phase and of other traffic.
+		if s != nil && p.Time.Sub(s.last) >= t.idleAfter(s) {
+			t.expire(s)
+			s = nil
+		}
+		t.sweep(p.Time)
+	}
 	if s == nil {
+		// Evict before inserting so live flows never exceed MaxFlows.
+		if len(t.flows) >= t.cfg.MaxFlows {
+			t.evictOldest()
+		}
 		t.stats.Flows++
 		s = &state{key: key, first: p.Time, synDir: -1}
 		s.dirs[0].timeoutRound = -1
 		s.dirs[1].timeoutRound = -1
 		t.flows[key] = s
 		t.lruPush(s)
-		if len(t.flows) > t.cfg.MaxFlows {
-			t.evictOldest()
+		if live := int64(len(t.flows)); live > t.stats.LiveHighWater {
+			t.stats.LiveHighWater = live
+		}
+		if m := t.metrics; m != nil {
+			if m.Live != nil {
+				live := m.Live.Add(1)
+				if m.LiveHighWater != nil {
+					m.LiveHighWater.SetMax(live)
+				}
+			}
 		}
 	} else {
 		t.lruTouch(s)
 	}
 	s.last = p.Time
 	t.observeFlow(s, p, dir)
+}
+
+// idleAfter is the flow's idle-expiry threshold in online mode:
+// IdleRTTs round trips of silence, floored by the sweep cadence.
+func (t *Tracker) idleAfter(s *state) time.Duration {
+	rtt := s.rtt()
+	if rtt <= 0 {
+		rtt = t.cfg.DefaultRTT
+	}
+	idle := time.Duration(t.cfg.IdleRTTs) * rtt
+	if idle < rtt { // overflow on absurd capture-claimed RTTs
+		idle = math.MaxInt64
+	}
+	if idle < t.cfg.Epoch {
+		idle = t.cfg.Epoch
+	}
+	return idle
+}
+
+// sweep runs the epoch idle-expiry pass when an epoch of capture time
+// has elapsed: walking from the LRU tail (least recently active first),
+// it emits every flow idle past its own threshold and stops at the
+// first flow idle less than Epoch, which floors every threshold.
+func (t *Tracker) sweep(now time.Time) {
+	d := now.Sub(t.epochAt)
+	if t.epochAt.IsZero() || d < 0 {
+		// First packet, or capture time stepped backwards: re-anchor.
+		t.epochAt = now
+		return
+	}
+	if d < t.cfg.Epoch {
+		return
+	}
+	t.epochAt = now
+	t.stats.Epochs++
+	if m := t.metrics; m != nil && m.Epochs != nil {
+		m.Epochs.Add(1)
+	}
+	for cur := t.tail; cur != nil; {
+		idle := now.Sub(cur.last)
+		if idle < t.cfg.Epoch {
+			break
+		}
+		prev := cur.prev
+		if idle >= t.idleAfter(cur) {
+			t.expire(cur)
+		}
+		cur = prev
+	}
+}
+
+// expire emits one flow through the idle-expiry path.
+func (t *Tracker) expire(s *state) {
+	t.stats.Expired++
+	if m := t.metrics; m != nil && m.Expired != nil {
+		m.Expired.Add(1)
+	}
+	t.emit(s)
 }
 
 // observeFlow updates one flow's state with a segment from key side dir.
@@ -263,9 +414,12 @@ func (t *Tracker) observeFlow(s *state, p *pcap.Packet, dir int) {
 
 	// Timestamp-echo RTT samples: this segment echoes the peer's newest
 	// TSVal, so the elapsed time since the peer first sent it is one RTT.
+	// The echo field is only defined on segments with ACK set (RFC 7323
+	// §3.2); gating on that instead of TSEcr != 0 keeps samples from
+	// peers whose timestamp clock starts at or wraps through zero.
 	peer := &s.dirs[1-dir]
 	if p.Opt.HasTS {
-		if p.Opt.TSEcr != 0 && peer.tsValSeen && p.Opt.TSEcr == peer.tsVal {
+		if p.ACK() && peer.tsValSeen && p.Opt.TSEcr == peer.tsVal {
 			if sample := p.Time.Sub(peer.tsValAt); sample > 0 && (s.tsRTT == 0 || sample < s.tsRTT) {
 				s.tsRTT = sample
 			}
@@ -362,7 +516,9 @@ func (t *Tracker) roundGap(s *state) time.Duration {
 }
 
 // Finish emits every remaining flow, ordered by first activity, and
-// resets the tracker. The returned traces are independent copies.
+// resets the tracker. The returned traces are independent copies. In
+// online mode the remaining flows drain to the sink instead and Finish
+// returns nil.
 func (t *Tracker) Finish() []*FlowTrace {
 	// Emit in LRU order (oldest first), then restore capture order by
 	// first-packet time via the done slice append order... flows may
@@ -373,6 +529,8 @@ func (t *Tracker) Finish() []*FlowTrace {
 	out := t.done
 	t.done = nil
 	t.flows = map[flowKey]*state{}
+	t.emitted = 0
+	t.epochAt = time.Time{}
 	sortFlows(out)
 	return out
 }
@@ -387,15 +545,26 @@ func (t *Tracker) evictOldest() {
 }
 
 // emit finalizes one flow into a FlowTrace and removes it from the
-// tracker.
+// tracker: onto the done slice offline, into the sink online. Once
+// MaxEmitted flows have been emitted, later-finishing flows are dropped
+// (the earliest-finishing flows are the ones kept).
 func (t *Tracker) emit(s *state) {
 	t.lruRemove(s)
 	delete(t.flows, s.key)
-	if len(t.done) >= t.cfg.MaxEmitted {
+	if m := t.metrics; m != nil && m.Live != nil {
+		m.Live.Add(-1)
+	}
+	if t.cfg.MaxEmitted >= 0 && t.emitted >= int64(t.cfg.MaxEmitted) {
 		t.stats.Dropped++
 		return
 	}
-	t.done = append(t.done, t.finalize(s))
+	t.emitted++
+	ft := t.finalize(s)
+	if t.sink != nil {
+		t.sink(ft)
+		return
+	}
+	t.done = append(t.done, ft)
 }
 
 // sortFlows orders flows by first activity, breaking ties by endpoint

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/pcap"
+	"repro/internal/telemetry"
 )
 
 // pkt builds a decoded TCP segment at ms milliseconds.
@@ -222,6 +223,165 @@ func TestEmittedTracesAreIndependent(t *testing.T) {
 	}
 	if flows[0].Trace.Pre[0] == flows[1].Trace.Pre[0] {
 		t.Fatalf("distinct flows decoded identically: %v vs %v", flows[0].Trace.Pre, flows[1].Trace.Pre)
+	}
+}
+
+// TestMaxFlowsNeverExceedsBound pins the evict-before-insert fix: the
+// tracker previously evicted only after insertion, so it briefly held
+// MaxFlows+1 live flows, contradicting the Config.MaxFlows doc.
+func TestMaxFlowsNeverExceedsBound(t *testing.T) {
+	tr := NewTracker(Config{MaxFlows: 4})
+	for i := 0; i < 10; i++ {
+		tr.Observe(pkt(int64(i), 2, 80, 1, uint16(4000+i), 1, 1, pcap.FlagACK, 10))
+		if live := tr.Live(); live > 4 {
+			t.Fatalf("live flows = %d after packet %d, want <= 4", live, i)
+		}
+	}
+	if got := tr.Stats().LiveHighWater; got != 4 {
+		t.Fatalf("live high water = %d, want 4", got)
+	}
+}
+
+// TestTimestampEchoZeroTSval pins the RFC 7323 fix: a peer whose
+// timestamp clock starts at 0 sends TSVal 0, and the echo carrying
+// TSecr 0 is a legitimate RTT sample, not "no echo".
+func TestTimestampEchoZeroTSval(t *testing.T) {
+	tr := NewTracker(Config{})
+	const mss = 100
+	d := pkt(0, 2, 80, 1, 4000, 5000, 1, pcap.FlagACK, mss)
+	d.Opt = pcap.TCPOptions{HasTS: true, TSVal: 0, TSEcr: 3}
+	tr.Observe(d)
+	a := pkt(80, 1, 4000, 2, 80, 1, 5000+mss, pcap.FlagACK, 0)
+	a.Opt = pcap.TCPOptions{HasTS: true, TSVal: 4, TSEcr: 0}
+	tr.Observe(a)
+	flows := tr.Finish()
+	if got := flows[0].RTT; got != 80*time.Millisecond {
+		t.Fatalf("timestamp rtt with TSval 0 = %s, want 80ms", got)
+	}
+}
+
+// TestTimestampEchoIgnoredWithoutACK pins the other half of the RFC 7323
+// rule: TSecr is undefined on segments without ACK, so a SYN whose echo
+// field happens to match the peer's TSVal must not produce a sample.
+func TestTimestampEchoIgnoredWithoutACK(t *testing.T) {
+	tr := NewTracker(Config{})
+	d := pkt(0, 2, 80, 1, 4000, 5000, 0, 0, 100) // no ACK flag
+	d.Opt = pcap.TCPOptions{HasTS: true, TSVal: 9, TSEcr: 0}
+	tr.Observe(d)
+	e := pkt(80, 1, 4000, 2, 80, 1, 0, pcap.FlagSYN, 0) // SYN, no ACK
+	e.Opt = pcap.TCPOptions{HasTS: true, TSVal: 4, TSEcr: 9}
+	tr.Observe(e)
+	flows := tr.Finish()
+	if got := flows[0].RTT; got != 0 {
+		t.Fatalf("rtt from ACK-less echo = %s, want 0", got)
+	}
+}
+
+// TestMaxEmittedKeepsEarliest pins the drop policy the Config doc now
+// states: once MaxEmitted flows have been emitted, later-finishing flows
+// are dropped, so the earliest-finishing (oldest) flows are kept.
+func TestMaxEmittedKeepsEarliest(t *testing.T) {
+	tr := NewTracker(Config{MaxFlows: 2, MaxEmitted: 3})
+	for i := 0; i < 8; i++ {
+		tr.Observe(pkt(int64(i), 2, 80, 1, uint16(4000+i), 1, 1, pcap.FlagACK, 10))
+	}
+	flows := tr.Finish()
+	if len(flows) != 3 {
+		t.Fatalf("emitted %d flows, want 3", len(flows))
+	}
+	for i, f := range flows {
+		want := "10.0.0.1:" + itoa(4000+i)
+		if f.Client != want {
+			t.Fatalf("kept flow %d = %s, want %s (earliest-finishing kept)", i, f.Client, want)
+		}
+	}
+}
+
+func itoa(n int) string {
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// TestMaxEmittedNegativeUnbounded pins the streaming escape hatch:
+// MaxEmitted < 0 disables the cap entirely.
+func TestMaxEmittedNegativeUnbounded(t *testing.T) {
+	tr := NewTracker(Config{MaxFlows: 2, MaxEmitted: -1})
+	for i := 0; i < 8; i++ {
+		tr.Observe(pkt(int64(i), 2, 80, 1, uint16(4000+i), 1, 1, pcap.FlagACK, 10))
+	}
+	flows := tr.Finish()
+	if len(flows) != 8 || tr.Stats().Dropped != 0 {
+		t.Fatalf("emitted %d flows (dropped %d), want all 8", len(flows), tr.Stats().Dropped)
+	}
+}
+
+// TestIdleExpiryEmitsMidStream exercises online mode: a flow that goes
+// quiet is emitted by an epoch sweep while the stream is still running,
+// long before Finish.
+func TestIdleExpiryEmitsMidStream(t *testing.T) {
+	tr := NewTracker(Config{Epoch: time.Second, IdleRTTs: 8, DefaultRTT: 100 * time.Millisecond})
+	var m TrackerMetrics
+	m.Live = &telemetry.Gauge{}
+	m.LiveHighWater = &telemetry.Gauge{}
+	m.Epochs = &telemetry.Counter{}
+	m.Expired = &telemetry.Counter{}
+	tr.Instrument(&m)
+	var emitted []*FlowTrace
+	tr.Stream(func(f *FlowTrace) { emitted = append(emitted, f) })
+
+	// Flow A: two packets, then silence. Threshold max(8x100ms, 1s) = 1s.
+	tr.Observe(pkt(0, 2, 80, 1, 4000, 100, 1, pcap.FlagACK, 100))
+	tr.Observe(pkt(50, 2, 80, 1, 4000, 200, 1, pcap.FlagACK, 100))
+	// Flow B keeps the clock moving for 5 captured seconds.
+	seq := uint32(0)
+	for ms := int64(100); ms <= 5000; ms += 100 {
+		tr.Observe(pkt(ms, 2, 80, 1, 5000, seq, 1, pcap.FlagACK, 100))
+		seq += 100
+	}
+	if len(emitted) != 1 {
+		t.Fatalf("mid-stream emissions = %d, want 1 (flow A expired)", len(emitted))
+	}
+	if emitted[0].Client != "10.0.0.1:4000" {
+		t.Fatalf("expired flow = %s, want flow A", emitted[0].Client)
+	}
+	st := tr.Stats()
+	if st.Expired != 1 || st.Epochs == 0 {
+		t.Fatalf("stats = %+v, want Expired 1 and Epochs > 0", st)
+	}
+	if m.Live.Load() != 1 || m.Expired.Load() != 1 || m.Epochs.Load() == 0 {
+		t.Fatalf("metrics live=%d expired=%d epochs=%d", m.Live.Load(), m.Expired.Load(), m.Epochs.Load())
+	}
+	tr.Finish()
+	if len(emitted) != 2 {
+		t.Fatalf("total emissions = %d, want 2 (Finish drains flow B)", len(emitted))
+	}
+	if m.Live.Load() != 0 {
+		t.Fatalf("live gauge after Finish = %d, want 0", m.Live.Load())
+	}
+}
+
+// TestIdleResumeSplitsFlow pins the online split semantic: packets
+// arriving after a flow's own expiry window start a fresh flow,
+// independent of epoch phase.
+func TestIdleResumeSplitsFlow(t *testing.T) {
+	tr := NewTracker(Config{Epoch: time.Second, IdleRTTs: 8, DefaultRTT: 100 * time.Millisecond})
+	var emitted []*FlowTrace
+	tr.Stream(func(f *FlowTrace) { emitted = append(emitted, f) })
+	tr.Observe(pkt(0, 2, 80, 1, 4000, 100, 1, pcap.FlagACK, 100))
+	// Resumes 3s later, past the 1s threshold: must split.
+	tr.Observe(pkt(3000, 2, 80, 1, 4000, 200, 1, pcap.FlagACK, 100))
+	tr.Finish()
+	if len(emitted) != 2 {
+		t.Fatalf("flows = %d, want 2 (idle resume splits)", len(emitted))
+	}
+	if tr.Stats().Flows != 2 || tr.Stats().Expired != 1 {
+		t.Fatalf("stats = %+v", tr.Stats())
 	}
 }
 

@@ -31,6 +31,8 @@ type Reader struct {
 	// io.ReadFull makes it escape, which would cost one allocation per
 	// record (see BenchmarkPcapIngest).
 	hdr [16]byte
+	// raw is the scratch packet NextRaw routes record metadata through.
+	raw Packet
 
 	// Classic pcap state.
 	bo       binary.ByteOrder
@@ -59,7 +61,7 @@ type ngIface struct {
 // returns a streaming reader. It returns ErrFormat when r is neither
 // pcap nor pcapng.
 func NewReader(r io.Reader) (*Reader, error) {
-	rd := &Reader{br: bufio.NewReaderSize(r, 1<<16)}
+	rd := &Reader{br: bufio.NewReaderSize(r, 1<<18)}
 	var magic [4]byte
 	if _, err := io.ReadFull(rd.br, magic[:]); err != nil {
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
@@ -148,6 +150,77 @@ func (r *Reader) Next(pkt *Packet) error {
 	}
 }
 
+// RawRecord is one undecoded capture record: the frame bytes plus the
+// per-record metadata the file framing carries. Data aliases the
+// reader's reusable buffer and is only valid until the next Next or
+// NextRaw call; callers that defer parsing must copy it.
+type RawRecord struct {
+	Time        time.Time
+	LinkType    uint32
+	CapturedLen int
+	OrigLen     int
+	Data        []byte
+}
+
+// NextRaw reads the next packet record without decoding its frame,
+// for pipelines that fan parsing out to workers (see ParseFrame). It
+// advances only Stats.Packets; frame classification counters belong to
+// whoever parses. Returns io.EOF at the clean end of the capture.
+func (r *Reader) NextRaw(rec *RawRecord) error {
+	for {
+		var (
+			data     []byte
+			linkType uint32
+			err      error
+		)
+		if r.ng {
+			data, linkType, err = r.nextNG(&r.raw)
+		} else {
+			data, linkType, err = r.nextClassic(&r.raw)
+		}
+		if err != nil {
+			return err
+		}
+		if data == nil {
+			continue // non-packet block (pcapng)
+		}
+		r.stats.Packets++
+		rec.Time = r.raw.Time
+		rec.LinkType = linkType
+		rec.CapturedLen = r.raw.CapturedLen
+		rec.OrigLen = r.raw.OrigLen
+		rec.Data = data
+		return nil
+	}
+}
+
+// FrameClass is ParseFrame's verdict on one raw frame.
+type FrameClass int
+
+const (
+	// FrameTCP: pkt holds a decoded TCP segment.
+	FrameTCP FrameClass = iota
+	// FrameSkip: not a whole TCP/IP packet (non-TCP, unknown link, ...).
+	FrameSkip
+	// FrameTruncated: the snaplen cut into a header.
+	FrameTruncated
+)
+
+// ParseFrame decodes one raw frame (a RawRecord's Data) into pkt, which
+// must already carry the record's Time/CapturedLen/OrigLen. It never
+// errors: malformed frames classify as skipped or truncated, as passive
+// tools must on real captures.
+func ParseFrame(linkType uint32, data []byte, pkt *Packet) FrameClass {
+	switch parseFrame(linkType, data, pkt) {
+	case parsedTCP:
+		return FrameTCP
+	case parsedTruncated:
+		return FrameTruncated
+	default:
+		return FrameSkip
+	}
+}
+
 // nextClassic reads one classic-pcap record.
 func (r *Reader) nextClassic(pkt *Packet) ([]byte, uint32, error) {
 	hdr := r.hdr[:16]
@@ -186,8 +259,17 @@ func (r *Reader) nextClassic(pkt *Packet) ([]byte, uint32, error) {
 	return data, r.linkType, nil
 }
 
-// fill reads n bytes into the reader's reusable buffer.
+// fill returns the next n stream bytes, valid until the next read.
+// Records that fit the bufio window are served straight out of it
+// (Peek+Discard, no copy); larger ones go through the reusable buffer.
 func (r *Reader) fill(n int) ([]byte, error) {
+	if n <= r.br.Size() {
+		if b, err := r.br.Peek(n); err == nil {
+			_, _ = r.br.Discard(n) // cannot fail after a full Peek
+			return b, nil
+		}
+		// Short peek: fall through so ReadFull classifies the error.
+	}
 	if cap(r.buf) < n {
 		r.buf = make([]byte, n, n+1024)
 	}

@@ -1,0 +1,156 @@
+package pcap
+
+import (
+	"errors"
+	"io"
+	"sync"
+)
+
+// ErrRingClosed is returned by Ring.Write after the write side closed.
+var ErrRingClosed = errors.New("pcap: ring closed")
+
+// Ring is a bounded in-memory byte ring connecting a capture producer
+// (an HTTP request body, stdin) to the streaming decoder. Write blocks
+// while the ring is full and Read blocks while it is empty, so the pair
+// gives a streaming pipeline end-to-end backpressure with one fixed
+// buffer: a slow decoder stalls the producer instead of growing memory,
+// and an unbounded capture never needs to be resident at once.
+//
+// One writer and one reader may use the ring concurrently. Close ends
+// the stream cleanly (the reader drains, then sees io.EOF);
+// CloseWithError aborts both sides immediately.
+type Ring struct {
+	mu     sync.Mutex
+	nempty sync.Cond // signaled when bytes (or EOF) become readable
+	nfull  sync.Cond // signaled when space becomes writable
+	buf    []byte
+	r, w   int // cursors; w chases r modulo len(buf)
+	n      int // bytes buffered
+	high   int // most bytes ever buffered
+	closed bool
+	err    error
+}
+
+// NewRing returns a ring buffering up to size bytes (floored at 4 KiB).
+func NewRing(size int) *Ring {
+	if size < 4<<10 {
+		size = 4 << 10
+	}
+	g := &Ring{buf: make([]byte, size)}
+	g.nempty.L = &g.mu
+	g.nfull.L = &g.mu
+	return g
+}
+
+// Write copies p into the ring, blocking while it is full. It returns
+// ErrRingClosed after Close and the abort error after CloseWithError.
+func (g *Ring) Write(p []byte) (int, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	written := 0
+	for len(p) > 0 {
+		for g.n == len(g.buf) && g.err == nil && !g.closed {
+			g.nfull.Wait()
+		}
+		if g.err != nil {
+			return written, g.err
+		}
+		if g.closed {
+			return written, ErrRingClosed
+		}
+		chunk := len(g.buf) - g.n
+		if chunk > len(p) {
+			chunk = len(p)
+		}
+		// Copy in up to two runs around the wrap point.
+		tail := len(g.buf) - g.w
+		if tail >= chunk {
+			copy(g.buf[g.w:], p[:chunk])
+		} else {
+			copy(g.buf[g.w:], p[:tail])
+			copy(g.buf, p[tail:chunk])
+		}
+		g.w = (g.w + chunk) % len(g.buf)
+		g.n += chunk
+		if g.n > g.high {
+			g.high = g.n
+		}
+		p = p[chunk:]
+		written += chunk
+		g.nempty.Signal()
+	}
+	return written, nil
+}
+
+// Read copies buffered bytes into p, blocking while the ring is empty.
+// After Close it drains the remaining bytes and then returns io.EOF;
+// after CloseWithError it returns the abort error immediately.
+func (g *Ring) Read(p []byte) (int, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for g.n == 0 && g.err == nil && !g.closed {
+		g.nempty.Wait()
+	}
+	if g.err != nil {
+		return 0, g.err
+	}
+	if g.n == 0 {
+		return 0, io.EOF
+	}
+	chunk := g.n
+	if chunk > len(p) {
+		chunk = len(p)
+	}
+	tail := len(g.buf) - g.r
+	if tail >= chunk {
+		copy(p, g.buf[g.r:g.r+chunk])
+	} else {
+		copy(p, g.buf[g.r:])
+		copy(p[tail:], g.buf[:chunk-tail])
+	}
+	g.r = (g.r + chunk) % len(g.buf)
+	g.n -= chunk
+	g.nfull.Signal()
+	return chunk, nil
+}
+
+// Close ends the write side: subsequent Writes fail and the reader sees
+// io.EOF once the buffered bytes drain.
+func (g *Ring) Close() error {
+	g.mu.Lock()
+	g.closed = true
+	g.mu.Unlock()
+	g.nempty.Broadcast()
+	g.nfull.Broadcast()
+	return nil
+}
+
+// CloseWithError aborts both sides: blocked and future Reads and Writes
+// return err (io.ErrClosedPipe when nil) without draining.
+func (g *Ring) CloseWithError(err error) {
+	if err == nil {
+		err = io.ErrClosedPipe
+	}
+	g.mu.Lock()
+	if g.err == nil {
+		g.err = err
+	}
+	g.closed = true
+	g.mu.Unlock()
+	g.nempty.Broadcast()
+	g.nfull.Broadcast()
+}
+
+// HighWater returns the most bytes the ring has ever buffered.
+func (g *Ring) HighWater() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.high
+}
+
+// Buffered returns the bytes currently buffered.
+func (g *Ring) Buffered() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}

@@ -1,0 +1,87 @@
+package pcap
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestRingRoundTrip(t *testing.T) {
+	g := NewRing(4 << 10)
+	// 1 MiB through a 4 KiB ring: the writer must block and resume.
+	payload := make([]byte, 1<<20)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	go func() {
+		for off := 0; off < len(payload); off += 1000 {
+			end := off + 1000
+			if end > len(payload) {
+				end = len(payload)
+			}
+			if _, err := g.Write(payload[off:end]); err != nil {
+				t.Errorf("Write: %v", err)
+				return
+			}
+		}
+		g.Close()
+	}()
+	got, err := io.ReadAll(g)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("ring corrupted the stream: %d bytes, want %d", len(got), len(payload))
+	}
+	if hw := g.HighWater(); hw <= 0 || hw > 4<<10 {
+		t.Fatalf("high water = %d, want in (0, %d]", hw, 4<<10)
+	}
+}
+
+func TestRingCloseUnblocksReader(t *testing.T) {
+	g := NewRing(0)
+	done := make(chan error, 1)
+	go func() {
+		var b [16]byte
+		_, err := g.Read(b[:])
+		done <- err
+	}()
+	g.Close()
+	if err := <-done; err != io.EOF {
+		t.Fatalf("Read after Close = %v, want EOF", err)
+	}
+	if _, err := g.Write([]byte("x")); err != ErrRingClosed {
+		t.Fatalf("Write after Close = %v, want ErrRingClosed", err)
+	}
+}
+
+func TestRingCloseWithErrorAborts(t *testing.T) {
+	g := NewRing(0)
+	if _, err := g.Write(make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("client went away")
+	g.CloseWithError(boom)
+	var b [16]byte
+	if _, err := g.Read(b[:]); err != boom {
+		t.Fatalf("Read after abort = %v, want the abort error (no drain)", err)
+	}
+	if _, err := g.Write([]byte("x")); err != boom {
+		t.Fatalf("Write after abort = %v, want the abort error", err)
+	}
+}
+
+func TestRingBlockedWriterAborts(t *testing.T) {
+	g := NewRing(0) // 4 KiB floor
+	done := make(chan error, 1)
+	go func() {
+		_, err := g.Write(make([]byte, 64<<10)) // must block at 4 KiB
+		done <- err
+	}()
+	boom := errors.New("abort")
+	g.CloseWithError(boom)
+	if err := <-done; err != boom {
+		t.Fatalf("blocked Write unblocked with %v, want abort error", err)
+	}
+}

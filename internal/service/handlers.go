@@ -17,6 +17,8 @@ import (
 //	POST /v1/identify       synchronous single identification
 //	POST /v1/batch          submit an async batch; 202 + job ID
 //	POST /v1/pcap           upload a packet capture; async per-flow labels
+//	POST /v1/pcap/stream    stream a live capture; NDJSON per-flow labels
+//	                        as flows close (no size cap; backpressured)
 //	POST /v1/census         launch a sharded census; 202 + job ID
 //	GET  /v1/jobs/{id}      poll batch status and results
 //	DELETE /v1/jobs/{id}    cancel a queued or running batch
@@ -30,6 +32,10 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/identify", s.handleIdentify)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/pcap", s.handlePcap)
+	mux.HandleFunc("POST /v1/pcap/stream", s.handlePcapStream)
+	// PUT is what `curl -T` (and most streaming-upload clients) send;
+	// the endpoint is upload-shaped either way.
+	mux.HandleFunc("PUT /v1/pcap/stream", s.handlePcapStream)
 	mux.HandleFunc("POST /v1/census", s.handleCensus)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)

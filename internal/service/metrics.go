@@ -8,6 +8,7 @@ import (
 	"repro/internal/census/shard"
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/flow"
 	"repro/internal/telemetry"
 )
 
@@ -43,6 +44,23 @@ type metrics struct {
 	// throughput denominator, and the passive pipeline's gather latency at
 	// upload granularity).
 	pcapDecode telemetry.Histogram
+
+	// Streaming-capture counters (POST /v1/pcap/stream). The gauges
+	// aggregate across concurrent streams: streamLive is the total flows
+	// resident in every running pipeline right now -- the number an
+	// operator watches to confirm live-capture memory stays flat.
+	streamRequests      atomic.Int64      // stream requests received
+	streamRejected      atomic.Int64      // streams shed by the MaxStreams bound (429)
+	streamErrors        atomic.Int64      // streams ended by a decode/transport error
+	streamActive        telemetry.Gauge   // streams currently running
+	streamLive          telemetry.Gauge   // flows live across all streams
+	streamLiveHighWater telemetry.Gauge   // most flows ever live at once
+	streamEpochs        telemetry.Counter // expiry sweep epochs completed
+	streamExpired       telemetry.Counter // flows closed by idle expiry
+	streamBytes         telemetry.Counter // capture bytes accepted by streams
+	streamPackets       telemetry.Counter // capture records framed
+	streamFlows         telemetry.Counter // flows emitted (expired+evicted+drained)
+	streamRingHighWater telemetry.Gauge   // fullest any ingest ring has been
 
 	// Outcome-class counters, one per identification, mirroring
 	// internal/eval's accounting classes so /metrics and the evaluation
@@ -82,6 +100,24 @@ type metrics struct {
 
 func newMetrics() *metrics {
 	return &metrics{}
+}
+
+// streamMetrics binds the flow pipeline's instrument set to the service
+// counters. Every stream shares the same instruments, so the gauges
+// aggregate across concurrent uploads.
+func (m *metrics) streamMetrics() *flow.StreamMetrics {
+	return &flow.StreamMetrics{
+		Tracker: flow.TrackerMetrics{
+			Live:          &m.streamLive,
+			LiveHighWater: &m.streamLiveHighWater,
+			Epochs:        &m.streamEpochs,
+			Expired:       &m.streamExpired,
+		},
+		Bytes:         &m.streamBytes,
+		Packets:       &m.streamPackets,
+		Flows:         &m.streamFlows,
+		RingHighWater: &m.streamRingHighWater,
+	}
 }
 
 // countLabel tallies one identification outcome under its reported label
@@ -184,6 +220,26 @@ type MetricsSnapshot struct {
 		Bytes        int64   `json:"bytes"`
 		DecodeMs     float64 `json:"decode_ms"`
 	} `json:"pcap"`
+
+	// Stream reports live-capture streaming health (POST
+	// /v1/pcap/stream): request/shed/error totals, streams running now,
+	// the aggregate live-flow gauge with its high water (the bounded-
+	// memory witness), expiry-sweep counters, and pipeline throughput
+	// (bytes, packets, flows, ring occupancy high water).
+	Stream struct {
+		Requests      int64 `json:"requests"`
+		Rejected      int64 `json:"rejected"`
+		Errors        int64 `json:"errors"`
+		Active        int64 `json:"active"`
+		LiveFlows     int64 `json:"live_flows"`
+		LiveHighWater int64 `json:"live_flows_high_water"`
+		Epochs        int64 `json:"epochs"`
+		Expired       int64 `json:"expired_flows"`
+		Bytes         int64 `json:"bytes"`
+		Packets       int64 `json:"packets"`
+		Flows         int64 `json:"flows"`
+		RingHighWater int64 `json:"ring_high_water_bytes"`
+	} `json:"stream"`
 
 	// Census aggregates the fault-tolerance counters of every census
 	// campaign run through POST /v1/census: probe retries and their
@@ -303,6 +359,19 @@ func (s *Service) snapshot() MetricsSnapshot {
 	out.Pcap.DecodeErrors = m.pcapDecodeErrors.Load()
 	out.Pcap.Bytes = m.pcapBytes.Load()
 	out.Pcap.DecodeMs = float64(m.pcapDecode.Snapshot().Sum) / float64(time.Millisecond)
+
+	out.Stream.Requests = m.streamRequests.Load()
+	out.Stream.Rejected = m.streamRejected.Load()
+	out.Stream.Errors = m.streamErrors.Load()
+	out.Stream.Active = m.streamActive.Load()
+	out.Stream.LiveFlows = m.streamLive.Load()
+	out.Stream.LiveHighWater = m.streamLiveHighWater.Load()
+	out.Stream.Epochs = m.streamEpochs.Load()
+	out.Stream.Expired = m.streamExpired.Load()
+	out.Stream.Bytes = m.streamBytes.Load()
+	out.Stream.Packets = m.streamPackets.Load()
+	out.Stream.Flows = m.streamFlows.Load()
+	out.Stream.RingHighWater = m.streamRingHighWater.Load()
 
 	for st, snap := range m.pipeline.Snapshot() {
 		if snap.Count == 0 {

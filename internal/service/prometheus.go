@@ -73,6 +73,19 @@ func (s *Service) writePrometheus(w io.Writer) error {
 	pw.Histogram("caai_pcap_decode_seconds", "Per-upload capture decode+reassembly time.",
 		nil, m.pcapDecode.Snapshot())
 
+	pw.Counter("caai_stream_requests_total", "Capture stream requests received (POST /v1/pcap/stream).", snap.Stream.Requests)
+	pw.Counter("caai_stream_rejected_total", "Capture streams shed by the concurrency bound (429).", snap.Stream.Rejected)
+	pw.Counter("caai_stream_errors_total", "Capture streams ended by a decode or transport error.", snap.Stream.Errors)
+	pw.Gauge("caai_stream_active", "Capture streams running now.", float64(snap.Stream.Active))
+	pw.Gauge("caai_stream_live_flows", "Flows resident across all running stream pipelines.", float64(snap.Stream.LiveFlows))
+	pw.Gauge("caai_stream_live_flows_high_water", "Most flows ever resident at once.", float64(snap.Stream.LiveHighWater))
+	pw.Counter("caai_stream_epochs_total", "Idle-expiry sweep epochs completed.", snap.Stream.Epochs)
+	pw.Counter("caai_stream_expired_flows_total", "Flows closed by idle expiry.", snap.Stream.Expired)
+	pw.Counter("caai_stream_bytes_total", "Capture bytes accepted by stream uploads.", snap.Stream.Bytes)
+	pw.Counter("caai_stream_packets_total", "Capture records framed by stream pipelines.", snap.Stream.Packets)
+	pw.Counter("caai_stream_flows_total", "Flows emitted by stream pipelines (expired+evicted+drained).", snap.Stream.Flows)
+	pw.Gauge("caai_stream_ring_high_water_bytes", "Fullest any stream ingest ring has been.", float64(snap.Stream.RingHighWater))
+
 	pw.CounterVec("caai_outcomes_total",
 		"Identifications by outcome class (labeled/unsure/special/invalid, mirrors internal/eval).",
 		"outcome", map[string]int64{

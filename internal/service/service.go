@@ -51,6 +51,10 @@ type Config struct {
 	// and their IDs answer 404. Keeps a resident server's memory bounded
 	// under steady batch traffic. <= 0 means DefaultJobRetention.
 	JobRetention int
+	// MaxStreams bounds concurrent POST /v1/pcap/stream uploads (each
+	// runs its own sharded decode pipeline); excess requests are shed
+	// with 429. 0 means DefaultMaxStreams.
+	MaxStreams int
 	// Probe customizes trace gathering (zero = paper defaults).
 	Probe probe.Config
 }
@@ -61,6 +65,7 @@ const (
 	DefaultQueueSize    = 64
 	DefaultMaxBatchJobs = 10_000
 	DefaultJobRetention = 256
+	DefaultMaxStreams   = 4
 )
 
 func (c Config) withDefaults() Config {
@@ -78,6 +83,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.JobRetention <= 0 {
 		c.JobRetention = DefaultJobRetention
+	}
+	if c.MaxStreams <= 0 {
+		c.MaxStreams = DefaultMaxStreams
 	}
 	return c
 }
@@ -98,6 +106,9 @@ type Service struct {
 	// Bounded at cfg.QueueSize: past that, /v1/identify sheds load with
 	// errQueueFull instead of stacking goroutines without limit.
 	syncWaiting atomic.Int64
+	// streamSem bounds concurrent capture-stream pipelines at
+	// cfg.MaxStreams; acquisition is non-blocking (shed, don't park).
+	streamSem chan struct{}
 
 	// flight coalesces concurrent identical sync identifications: the
 	// first request probes, later ones wait for its result instead of
@@ -139,16 +150,17 @@ func New(reg *Registry, cfg Config) *Service {
 		syncWidth = engine.DefaultParallelism()
 	}
 	s := &Service{
-		cfg:      cfg,
-		registry: reg,
-		cache:    newResultCache(cfg.CacheSize),
-		metrics:  newMetrics(),
-		queue:    make(chan *job, cfg.QueueSize),
-		syncSem:  make(chan struct{}, syncWidth),
-		flight:   map[string]*inflightCall{},
-		jobs:     map[string]*job{},
-		ctx:      ctx,
-		cancel:   cancel,
+		cfg:       cfg,
+		registry:  reg,
+		cache:     newResultCache(cfg.CacheSize),
+		metrics:   newMetrics(),
+		queue:     make(chan *job, cfg.QueueSize),
+		syncSem:   make(chan struct{}, syncWidth),
+		streamSem: make(chan struct{}, cfg.MaxStreams),
+		flight:    map[string]*inflightCall{},
+		jobs:      map[string]*job{},
+		ctx:       ctx,
+		cancel:    cancel,
 	}
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
