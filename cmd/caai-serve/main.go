@@ -12,9 +12,11 @@
 // GET /v1/jobs/{id} (asynchronous), POST /v1/pcap (upload a packet
 // capture; per-flow identifications land in the async job payload),
 // POST /v1/models/reload (hot-swap retrained model files without
-// downtime), GET /v1/models, GET /healthz, GET /metrics. See the
-// README's "Serving identifications" and "Identifying from packet
-// captures" sections for curl examples.
+// downtime), GET /v1/models, GET /v1/traces plus GET /v1/traces/{id}
+// (tail-sampled request traces from the flight recorder; tune with
+// -trace-sample and -trace-slow), GET /healthz, GET /metrics. See the
+// README's "Serving identifications", "Identifying from packet
+// captures" and "Observability" sections for curl examples.
 package main
 
 import (
@@ -31,7 +33,6 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strings"
-	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -96,57 +97,6 @@ func splitModelFlag(v string) (name, path string, err error) {
 	return strings.TrimSuffix(base, filepath.Ext(base)), v, nil
 }
 
-// requestSeq numbers generated request IDs process-wide.
-var requestSeq atomic.Int64
-
-// logRequestsMiddleware emits one structured log line per request:
-// method, matched route, status, duration, and a request ID. An inbound
-// X-Request-ID is honored (so IDs correlate across proxies); otherwise a
-// process-unique one is minted. Either way the ID is echoed on the
-// response for client-side correlation.
-func logRequestsMiddleware(log *slog.Logger, next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		reqID := r.Header.Get("X-Request-ID")
-		if reqID == "" {
-			reqID = fmt.Sprintf("req-%d", requestSeq.Add(1))
-		}
-		w.Header().Set("X-Request-ID", reqID)
-		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		start := time.Now()
-		next.ServeHTTP(rec, r)
-		route := r.Pattern // stamped by the mux during routing
-		if route == "" {
-			route = r.URL.Path
-		}
-		log.Info("request",
-			"id", reqID,
-			"method", r.Method,
-			"route", route,
-			"status", rec.status,
-			"duration_ms", float64(time.Since(start))/float64(time.Millisecond),
-			"bytes", rec.bytes,
-		)
-	})
-}
-
-// statusRecorder captures the response status and body size for logging.
-type statusRecorder struct {
-	http.ResponseWriter
-	status int
-	bytes  int64
-}
-
-func (s *statusRecorder) WriteHeader(code int) {
-	s.status = code
-	s.ResponseWriter.WriteHeader(code)
-}
-
-func (s *statusRecorder) Write(p []byte) (int, error) {
-	n, err := s.ResponseWriter.Write(p)
-	s.bytes += int64(n)
-	return n, err
-}
-
 // run is the testable body of the command: it serves until ctx is
 // cancelled (then shuts down gracefully) or the listener fails.
 func run(ctx context.Context, args []string, stdout io.Writer) error {
@@ -169,6 +119,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	evalPath := fs.String("eval", "", "ACCURACY_<n>.json file or history directory; the latest point's summary is exposed on GET /metrics")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof profiling handlers at /debug/pprof/ (opt-in: exposes goroutine and heap internals)")
 	logRequests := fs.Bool("log-requests", false, "log every request (method, route, status, duration, request ID) as structured slog lines on stderr")
+	traceSample := fs.Int("trace-sample", service.DefaultTraceSampleN, "tail-sampling rate for normal traffic: keep 1 in N traces (1 keeps all, negative keeps none); error/unsure/slow traces are always kept")
+	traceSlow := fs.Duration("trace-slow", service.DefaultTraceSlow, "requests at least this slow are always trace-retained regardless of sampling")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			fs.SetOutput(stdout)
@@ -231,14 +183,20 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		reg.Add("default", id.Classifier())
 	}
 
-	svc := service.New(reg, service.Config{
+	svcCfg := service.Config{
 		CacheSize:    *cache,
 		QueueSize:    *queue,
 		Workers:      *workers,
 		Parallelism:  *parallelism,
 		MaxBatchJobs: *maxBatch,
 		JobRetention: *retain,
-	})
+		TraceSampleN: *traceSample,
+		TraceSlow:    *traceSlow,
+	}
+	if *logRequests {
+		svcCfg.AccessLog = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	svc := service.New(reg, svcCfg)
 	defer svc.Close()
 
 	if evalSummary != nil {
@@ -261,10 +219,6 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		root.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		handler = root
 	}
-	if *logRequests {
-		handler = logRequestsMiddleware(slog.New(slog.NewTextHandler(os.Stderr, nil)), handler)
-	}
-
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err

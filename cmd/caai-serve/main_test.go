@@ -163,7 +163,7 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	base, out, shutdown := startServe(t, []string{"-model", "caai=" + modelPath, "-workers", "2"})
+	base, out, shutdown := startServe(t, []string{"-model", "caai=" + modelPath, "-workers", "2", "-trace-sample", "1"})
 	defer shutdown()
 
 	if !strings.Contains(out.String(), `loaded RandomForest model "caai"`) {
@@ -325,6 +325,48 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 	if metrics.ModelsReloaded != 1 {
 		t.Fatalf("models_reloaded = %d, want 1", metrics.ModelsReloaded)
+	}
+
+	// Flight recorder: with -trace-sample 1 every request above is
+	// retained, so the sync identify's trace is listable by route and its
+	// full span tree resolvable by ID.
+	resp, err = http.Get(base + "/v1/traces?route=POST+%2Fv1%2Fidentify&limit=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traces struct {
+		Traces []struct {
+			ID    string `json:"id"`
+			Route string `json:"route"`
+			Spans int    `json:"spans"`
+		} `json:"traces"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&traces)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces.Traces) == 0 {
+		t.Fatal("no retained traces for POST /v1/identify with -trace-sample 1")
+	}
+	resp, err = http.Get(base + "/v1/traces/" + traces.Traces[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		ID    string `json:"id"`
+		Spans []struct {
+			Kind string `json:"kind"`
+			Name string `json:"name"`
+		} `json:"spans"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&tr)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.ID != traces.Traces[0].ID {
+		t.Fatalf("trace lookup returned %q, want %q", tr.ID, traces.Traces[0].ID)
 	}
 
 	// Shutdown banner appears on clean exit.

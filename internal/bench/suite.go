@@ -49,6 +49,7 @@ func Suite(ctx *experiments.Context) ([]Case, error) {
 		{Name: "service/identify_miss", Bench: ServiceIdentify(model, true)},
 		{Name: "service/batch_blocks", Bench: ServiceBatchBlocks(model, 64)},
 		{Name: "telemetry/overhead", Bench: TelemetryOverhead(model)},
+		{Name: "telemetry/trace_overhead", Bench: TraceOverhead(model)},
 	}
 	if f, ok := model.(*forest.Forest); ok {
 		cases = append([]Case{
@@ -447,6 +448,54 @@ func TelemetryOverhead(model classify.Classifier) func(*testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			timed.Identify(server, netem.Lossless, probe.Config{}, rngTimed)
+		}
+		b.StopTimer()
+		enabled := b.Elapsed()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			plain.Identify(server, netem.Lossless, probe.Config{}, rngPlain)
+		}
+		baseline := time.Since(start)
+		overhead := 0.0
+		if baseline > 0 {
+			overhead = (float64(enabled)/float64(baseline) - 1) * 100
+		}
+		if overhead < 0 {
+			overhead = 0
+		}
+		b.ReportMetric(overhead, "overhead-%")
+	}
+}
+
+// TraceOverhead pins the flight-recorder contract the same way
+// TelemetryOverhead pins the pipeline's: the timed op is a
+// span-recording identify that ALSO writes stage spans and events into a
+// live telemetry.Flight's rings (the caai-serve configuration with
+// tracing on, SampleN 1 so tail sampling retains every trace); the
+// baseline is the identical session without a bound trace. Both consume
+// identical RNG streams, so the loops do byte-for-byte the same probing
+// work and "overhead-%" isolates the ring writes. The budget holds this
+// at 0 allocs/op and <= 5%.
+func TraceOverhead(model classify.Classifier) func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		id := core.NewIdentifier(model)
+		server := websim.Testbed("CUBIC2")
+		var tel telemetry.Pipeline
+		flight := telemetry.NewFlight(telemetry.FlightConfig{SampleN: 1})
+		defer flight.Close()
+		traced := id.NewSession()
+		traced.EnableTimings(&tel)
+		traced.BindTrace(flight, flight.Mint())
+		plain := id.NewSession()
+		plain.EnableTimings(&tel)
+		rngTraced := rand.New(rand.NewSource(11))
+		rngPlain := rand.New(rand.NewSource(11))
+		traced.Identify(server, netem.Lossless, probe.Config{}, rngTraced)
+		plain.Identify(server, netem.Lossless, probe.Config{}, rngPlain)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			traced.Identify(server, netem.Lossless, probe.Config{}, rngTraced)
 		}
 		b.StopTimer()
 		enabled := b.Elapsed()

@@ -98,6 +98,13 @@ type Config struct {
 	// telemetry sink (the service aggregates all census jobs this way).
 	Metrics *Metrics
 
+	// Trace/TraceID, when both set, record the retry taxonomy into the
+	// flight recorder under the campaign's trace: one retry event per
+	// re-queued timeout (arg: attempt) and one deferral event per
+	// rate-limit push-back (arg: deferral count).
+	Trace   *telemetry.Flight
+	TraceID telemetry.TraceID
+
 	// Test hooks: clock, sleeper, and pre-probe observer. Nil = real
 	// time. In-package tests inject a fake clock to verify pacing
 	// without wall-clock waits.
@@ -491,6 +498,7 @@ func (c *Coordinator) process(ctx context.Context, w int, t task, sess *core.Ses
 			return
 		}
 		c.bump(func(m *Metrics) *telemetry.Counter { return &m.Retries }, 1)
+		c.cfg.Trace.Event(c.cfg.TraceID, telemetry.EventRetry, uint64(t.attempt))
 		c.requeueAfter(w, t, c.backoffDelay(t.idx, t.attempt, 0))
 
 	case failRateLimited:
@@ -501,6 +509,7 @@ func (c *Coordinator) process(ctx context.Context, w int, t task, sess *core.Ses
 			return
 		}
 		c.bump(func(m *Metrics) *telemetry.Counter { return &m.Deferrals }, 1)
+		c.cfg.Trace.Event(c.cfg.TraceID, telemetry.EventDeferral, uint64(t.deferrals))
 		c.requeueAfter(w, t, c.backoffDelay(t.idx, t.deferrals, 1))
 
 	default:

@@ -17,7 +17,9 @@ import (
 // sender, and congestion avoidance components, the classify input goes
 // through the session-owned buffer, and the span clock and histograms are
 // plain values and atomics. The untimed session is held to the same zero,
-// so recording provably adds nothing.
+// so recording provably adds nothing. A third session additionally binds a
+// live flight recorder, pinning the tracing path (StageSpans into the
+// preallocated rings, the UNSURE event probe) to the same zero.
 func TestSessionIdentifyAllocatesNothing(t *testing.T) {
 	id := NewIdentifier(stubClassifier{})
 	server := websim.Testbed("CUBIC2")
@@ -27,7 +29,13 @@ func TestSessionIdentifyAllocatesNothing(t *testing.T) {
 	timed.EnableTimings(&tel)
 	plain := id.NewSession()
 
-	for name, sess := range map[string]*Session{"recording": timed, "untimed": plain} {
+	flight := telemetry.NewFlight(telemetry.FlightConfig{SampleN: 1})
+	defer flight.Close()
+	traced := id.NewSession()
+	traced.EnableTimings(&tel)
+	traced.BindTrace(flight, flight.Mint())
+
+	for name, sess := range map[string]*Session{"recording": timed, "untimed": plain, "traced": traced} {
 		rng := rand.New(rand.NewSource(7))
 		sess.Identify(server, netem.Lossless, probe.Config{}, rng) // warm buffers
 		var out Identification

@@ -44,6 +44,12 @@ type BlockSession struct {
 	// batched call, stamped at Flush.
 	record bool
 	tel    *telemetry.Pipeline
+
+	// flight/trace mirror Session.BindTrace: gather/feature spans are
+	// recorded per job at Gather (tagged with the job tag), deferred
+	// classify shares at Flush, plus an UNSURE event per unsure outcome.
+	flight *telemetry.Flight
+	trace  telemetry.TraceID
 }
 
 // NewBlockSession returns a reusable block-inference pipeline bound to
@@ -77,6 +83,15 @@ func (bs *BlockSession) EnableTimings(tel *telemetry.Pipeline) {
 	bs.tel = tel
 }
 
+// BindTrace attaches subsequent Gather/Flush span recording to a trace
+// in f's rings (see Session.BindTrace). Batch jobs bind the accepting
+// request's trace, so one ID correlates the HTTP submission with every
+// worker's per-job spans.
+func (bs *BlockSession) BindTrace(f *telemetry.Flight, tr telemetry.TraceID) {
+	bs.flight = f
+	bs.trace = tr
+}
+
 // Gather probes one server exactly as Session.Identify would -- same
 // prober reuse, same RNG stream -- and buffers the prepared outcome under
 // tag. Classification is deferred to Flush only when the backend has a
@@ -94,8 +109,10 @@ func (bs *BlockSession) Gather(tag int, server *websim.Server, cond netem.Condit
 	}
 	var clock telemetry.SpanClock
 	var tm telemetry.StageTimings
+	var gstart time.Time
 	if bs.record {
-		clock.Start()
+		gstart = time.Now()
+		clock.StartAt(gstart)
 	}
 	res := bs.p.Gather(server)
 	clock.Lap(&tm, telemetry.StageGather)
@@ -111,6 +128,11 @@ func (bs *BlockSession) Gather(tag int, server *websim.Server, cond netem.Condit
 		}
 	}
 	out.Timings = tm
+	if bs.record && bs.flight != nil && bs.trace != 0 {
+		// Deferred jobs record gather+feature now (classify is still 0);
+		// their classify share is recorded at Flush under the same tag.
+		bs.flight.StageSpans(bs.trace, gstart, &out.Timings, uint64(tag)&0xffffffff)
+	}
 	bs.tags = append(bs.tags, tag)
 	bs.outs = append(bs.outs, out)
 }
@@ -145,11 +167,17 @@ func (bs *BlockSession) Flush(emit func(tag int, out Identification)) {
 		for i, k := range bs.pending {
 			applyLabel(&bs.outs[k], labels[i], confs[i])
 			bs.outs[k].Timings[telemetry.StageClassify] = share
+			if bs.record && bs.flight != nil && bs.trace != 0 {
+				bs.flight.Span(bs.trace, telemetry.StageClassify, start, share, uint64(bs.tags[k])&0xffffffff)
+			}
 		}
 	}
 	for i := range bs.outs {
 		if bs.tel != nil {
 			bs.tel.ObserveTimings(&bs.outs[i].Timings)
+		}
+		if bs.record && bs.flight != nil && bs.trace != 0 && bs.outs[i].Label == LabelUnsure {
+			bs.flight.Event(bs.trace, telemetry.EventUnsure, uint64(bs.outs[i].Confidence*1000))
 		}
 		emit(bs.tags[i], bs.outs[i])
 	}

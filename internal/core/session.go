@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"time"
 
 	"repro/internal/feature"
 	"repro/internal/netem"
@@ -37,6 +38,14 @@ type Session struct {
 	// the span clock and timings are plain values on the session.
 	record bool
 	tel    *telemetry.Pipeline
+
+	// flight/trace bind Identify to a flight-recorder trace (see
+	// BindTrace): when both are set and recording is on, each call also
+	// emits its stage spans (and an UNSURE event) into the recorder's
+	// rings. Pure atomic stores -- the zero-alloc contract holds with
+	// tracing enabled, pinned by TestSessionIdentifyAllocatesNothing.
+	flight *telemetry.Flight
+	trace  telemetry.TraceID
 }
 
 // NewSession returns a reusable pipeline bound to this identifier's
@@ -52,6 +61,16 @@ func (id *Identifier) NewSession() *Session { return &Session{id: id} }
 func (s *Session) EnableTimings(tel *telemetry.Pipeline) {
 	s.record = true
 	s.tel = tel
+}
+
+// BindTrace attaches the session's next Identify calls to a trace: stage
+// spans (and an UNSURE event when the label comes back unsure) are
+// recorded into f's rings under tr. Requires EnableTimings to have armed
+// recording; a zero tr (or nil f) detaches. Sessions are pooled, so
+// callers re-bind per request.
+func (s *Session) BindTrace(f *telemetry.Flight, tr telemetry.TraceID) {
+	s.flight = f
+	s.trace = tr
 }
 
 // Identify runs the full pipeline for one server, reusing the session's
@@ -75,7 +94,8 @@ func (s *Session) Identify(server *websim.Server, cond netem.Condition, cfg prob
 
 	var clock telemetry.SpanClock
 	var tm telemetry.StageTimings
-	clock.Start()
+	start := time.Now()
+	clock.StartAt(start)
 	res := s.p.Gather(server)
 	clock.Lap(&tm, telemetry.StageGather)
 	out, need := prepareResult(res, &s.sc)
@@ -87,6 +107,12 @@ func (s *Session) Identify(server *websim.Server, cond netem.Condition, cfg prob
 	out.Timings = tm
 	if s.tel != nil {
 		s.tel.ObserveTimings(&out.Timings)
+	}
+	if s.flight != nil && s.trace != 0 {
+		s.flight.StageSpans(s.trace, start, &out.Timings, 0)
+		if out.Label == LabelUnsure {
+			s.flight.Event(s.trace, telemetry.EventUnsure, uint64(out.Confidence*1000))
+		}
 	}
 	return out
 }

@@ -47,6 +47,12 @@ type StreamConfig struct {
 	BatchPackets int
 	// Metrics, when non-nil, publishes live pipeline state.
 	Metrics *StreamMetrics
+	// Trace/TraceID, when both set, record a shard-assignment event into
+	// the flight recorder each time a shard worker emits a finished flow
+	// (arg: shard index), so a stream request's span tree shows which
+	// decode shards produced its flows.
+	Trace   *telemetry.Flight
+	TraceID telemetry.TraceID
 }
 
 // StreamMetrics is the caai_stream_* instrument set. All fields are
@@ -161,6 +167,7 @@ func NewStream(ctx context.Context, cfg StreamConfig, onFlow func(*FlowTrace)) *
 	tcfg.MaxFlows = perShard
 	for i := range s.shards {
 		sh := &s.shards[i]
+		shardIdx := uint64(i)
 		sh.in = make(chan *rawBatch, 4)
 		sh.free = make(chan *rawBatch, 8)
 		sh.tracker = NewTracker(tcfg)
@@ -168,6 +175,7 @@ func NewStream(ctx context.Context, cfg StreamConfig, onFlow func(*FlowTrace)) *
 			sh.tracker.Instrument(&cfg.Metrics.Tracker)
 		}
 		sh.tracker.Stream(func(ft *FlowTrace) {
+			cfg.Trace.Event(cfg.TraceID, telemetry.EventShardAssign, shardIdx)
 			select {
 			case s.funnel <- ft:
 			case <-s.ctx.Done():

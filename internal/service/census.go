@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
@@ -51,7 +52,7 @@ func (s *Service) handleCensus(w http.ResponseWriter, r *http.Request) {
 		writeBodyError(w, err)
 		return
 	}
-	j, err := s.submitCensus(req)
+	j, err := s.submitCensus(r.Context(), req)
 	if err != nil {
 		switch {
 		case errors.Is(err, errQueueFull):
@@ -94,7 +95,7 @@ func (s *Service) validateCensus(req CensusRequest) error {
 }
 
 // submitCensus validates and enqueues one census job.
-func (s *Service) submitCensus(req CensusRequest) (*job, error) {
+func (s *Service) submitCensus(ctx context.Context, req CensusRequest) (*job, error) {
 	if err := s.validateCensus(req); err != nil {
 		s.metrics.batchRejected.Add(1)
 		return nil, err
@@ -102,7 +103,7 @@ func (s *Service) submitCensus(req CensusRequest) (*job, error) {
 	if req.Seed == 0 {
 		req.Seed = 2011 // the paper-year default every command uses
 	}
-	j, err := s.enqueue(&job{
+	j, err := s.enqueue(ctx, &job{
 		model:  req.Model,
 		census: &censusState{req: req},
 		total:  req.Servers,
@@ -138,6 +139,8 @@ func (s *Service) runCensus(j *job) {
 		MaxDeferrals: req.MaxDeferrals,
 		Fault:        req.Fault,
 		Metrics:      &s.metrics.census,
+		Trace:        s.flight,
+		TraceID:      j.trace,
 	})
 	if err != nil {
 		// The request was validated at submission; only population-scale

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/telemetry"
 )
 
@@ -24,6 +25,10 @@ import (
 //	DELETE /v1/jobs/{id}    cancel a queued or running batch
 //	GET  /v1/models         list registered models
 //	POST /v1/models/reload  hot-swap file-backed models from disk
+//	GET  /v1/traces         retained traces (filter by outcome/route/
+//	                        min_duration_ms, newest first)
+//	GET  /v1/traces/{id}    one trace's full span tree (id = the
+//	                        request's X-Request-ID)
 //	GET  /healthz           liveness + model inventory
 //	GET  /metrics           service counters (JSON; Prometheus text with
 //	                        ?format=prometheus or Accept: text/plain)
@@ -41,9 +46,14 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/models", s.handleModels)
 	mux.HandleFunc("POST /v1/models/reload", s.handleReload)
+	mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	mux.HandleFunc("GET /v1/traces/{id}", s.handleTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return s.countRequests(mux)
+	// withTrace must wrap outermost: it serves the mux a request copy
+	// (context attach), and the mux stamps the matched pattern on that
+	// copy -- countRequests must be on the copy's side to read it.
+	return s.withTrace(s.countRequests(mux))
 }
 
 // countRequests feeds the requests_total counter and the per-endpoint
@@ -126,6 +136,7 @@ func (s *Service) handleIdentify(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := s.identify(r.Context(), req.Model, req.JobSpec)
 	if err != nil {
+		setOutcome(r.Context(), telemetry.OutcomeError)
 		if errors.Is(err, errQueueFull) {
 			// The sync backlog is saturated: shed load now instead of
 			// parking another goroutine on the probe semaphore.
@@ -144,6 +155,16 @@ func (s *Service) handleIdentify(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "%v", err)
 		return
 	}
+	// Classify the identification for tail sampling: an UNSURE or
+	// invalid outcome is a 200 the flight recorder must always keep.
+	switch {
+	case !resp.Valid:
+		setOutcome(r.Context(), telemetry.OutcomeInvalid)
+	case resp.Special != "":
+		setOutcome(r.Context(), telemetry.OutcomeSpecial)
+	case resp.Label == core.LabelUnsure:
+		setOutcome(r.Context(), telemetry.OutcomeUnsure)
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -153,7 +174,7 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeBodyError(w, err)
 		return
 	}
-	j, err := s.submit(req)
+	j, err := s.submit(r.Context(), req)
 	if err != nil {
 		switch {
 		case errors.Is(err, errQueueFull):

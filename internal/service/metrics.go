@@ -268,6 +268,18 @@ type MetricsSnapshot struct {
 	Stages    map[string]LatencySummary `json:"stages,omitempty"`
 	Endpoints map[string]LatencySummary `json:"endpoints,omitempty"`
 
+	// Traces reports the flight recorder's accounting: spans written
+	// into the rings, traces offered to tail sampling, and what happened
+	// to them (retained / dropped-as-normal / lost to a full completion
+	// queue), plus the retained store's current occupancy.
+	Traces telemetry.FlightStats `json:"traces"`
+
+	// Runtime is the Go runtime's own health read at snapshot time
+	// (goroutines, heap, GC cycles and pause quantiles, scheduling
+	// latency quantiles), so a latency spike is attributable to GC or
+	// scheduler pressure without a second tool.
+	Runtime telemetry.RuntimeStats `json:"runtime"`
+
 	Labels map[string]int64 `json:"labels"`
 	Models []ModelInfo      `json:"models"`
 
@@ -278,12 +290,15 @@ type MetricsSnapshot struct {
 }
 
 // LatencySummary condenses one latency histogram for the JSON snapshot:
-// observation count, mean, and the factor-of-two p50/p99 upper estimates
-// the log-spaced buckets support.
+// observation count, mean, and interpolated p50/p95/p99 estimates (see
+// HistogramSnapshot.Quantile: linear within the holding log-spaced
+// bucket), so /metrics consumers stop re-deriving quantiles from raw
+// buckets.
 type LatencySummary struct {
 	Count  int64   `json:"count"`
 	MeanUs float64 `json:"mean_us"`
 	P50Us  float64 `json:"p50_us"`
+	P95Us  float64 `json:"p95_us"`
 	P99Us  float64 `json:"p99_us"`
 }
 
@@ -293,6 +308,7 @@ func summarize(s telemetry.HistogramSnapshot) LatencySummary {
 		Count:  s.Count,
 		MeanUs: us(s.Mean()),
 		P50Us:  us(s.Quantile(0.5)),
+		P95Us:  us(s.Quantile(0.95)),
 		P99Us:  us(s.Quantile(0.99)),
 	}
 }
@@ -394,6 +410,9 @@ func (s *Service) snapshot() MetricsSnapshot {
 		out.Labels[k.(string)] = v.(*atomic.Int64).Load()
 		return true
 	})
+
+	out.Traces = s.flight.Stats()
+	out.Runtime = telemetry.ReadRuntimeStats()
 
 	out.Models = s.modelInfos()
 	out.Eval = s.latestEvalSummary()

@@ -1,0 +1,141 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// traceCtxKey keys the per-request trace state in the request context.
+type traceCtxKey struct{}
+
+// traceState rides the request context from the trace middleware to the
+// handlers: the trace identity (threaded into sessions, jobs, and stream
+// pipelines) plus the outcome a handler classifies before the middleware
+// finishes the trace. Only the request goroutine writes outcome (async
+// executors classify their own job-completion trace instead), so a
+// plain field suffices.
+type traceState struct {
+	id    telemetry.TraceID
+	reqID string
+	// outcome holds a telemetry.Outcome set by the handler; -1 = unset
+	// (the middleware then infers error from a >=400 status).
+	outcome int32
+}
+
+// traceFrom returns the request's trace state, or nil outside the
+// middleware (direct handler tests, internal callers).
+func traceFrom(ctx context.Context) *traceState {
+	st, _ := ctx.Value(traceCtxKey{}).(*traceState)
+	return st
+}
+
+// traceIDFrom returns the request's trace ID, or 0 when untraced (which
+// turns every downstream recording call into a no-op).
+func traceIDFrom(ctx context.Context) telemetry.TraceID {
+	if st := traceFrom(ctx); st != nil {
+		return st.id
+	}
+	return 0
+}
+
+// requestIDFrom returns the request's correlating ID ("" when untraced).
+func requestIDFrom(ctx context.Context) string {
+	if st := traceFrom(ctx); st != nil {
+		return st.reqID
+	}
+	return ""
+}
+
+// setOutcome classifies the request for tail sampling. Handlers call it
+// when they know better than the status code (an UNSURE identification
+// is a 200 the recorder must keep).
+func setOutcome(ctx context.Context, o telemetry.Outcome) {
+	if st := traceFrom(ctx); st != nil {
+		st.outcome = int32(o)
+	}
+}
+
+// withTrace is the service's outermost middleware: it honors an inbound
+// X-Request-ID (hashed to a trace ID, so proxies' IDs correlate) or
+// mints one (the hex trace ID doubles as the request ID), echoes the ID
+// on the response, threads the trace through the request context, and on
+// completion hands the trace to the flight recorder's tail sampler.
+// When cfg.AccessLog is set it also emits the one structured log line
+// per request that -log-requests asks for -- same middleware, so the
+// logged ID, the response header, and the trace key are one value.
+func (s *Service) withTrace(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqID := r.Header.Get("X-Request-ID")
+		var tr telemetry.TraceID
+		if reqID == "" {
+			tr = s.flight.Mint()
+			reqID = tr.String()
+		} else {
+			tr = telemetry.HashTraceID(reqID)
+		}
+		w.Header().Set("X-Request-ID", reqID)
+		st := &traceState{id: tr, reqID: reqID, outcome: -1}
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		// The mux stamps the matched pattern on the request it serves, so
+		// the route must be read back from this copy, not from r.
+		r2 := r.WithContext(context.WithValue(r.Context(), traceCtxKey{}, st))
+		next.ServeHTTP(rec, r2)
+		dur := time.Since(start)
+		route := r2.Pattern
+		if route == "" {
+			route = r.URL.Path
+		}
+		outcome := telemetry.OutcomeOK
+		if st.outcome >= 0 {
+			outcome = telemetry.Outcome(st.outcome)
+		} else if rec.status >= 400 {
+			outcome = telemetry.OutcomeError
+		}
+		s.flight.Finish(telemetry.TraceDone{
+			ID:        tr,
+			RequestID: reqID,
+			Route:     route,
+			Outcome:   outcome,
+			Status:    rec.status,
+			Start:     start,
+			Duration:  dur,
+		})
+		if s.cfg.AccessLog != nil {
+			s.cfg.AccessLog.Info("request",
+				"id", reqID,
+				"method", r.Method,
+				"route", route,
+				"status", rec.status,
+				"duration_ms", float64(dur)/float64(time.Millisecond),
+				"bytes", rec.bytes,
+			)
+		}
+	})
+}
+
+// statusRecorder captures the response status and body size for the
+// trace summary and the access log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (s *statusRecorder) WriteHeader(code int) {
+	s.status = code
+	s.ResponseWriter.WriteHeader(code)
+}
+
+func (s *statusRecorder) Write(p []byte) (int, error) {
+	n, err := s.ResponseWriter.Write(p)
+	s.bytes += int64(n)
+	return n, err
+}
+
+// Unwrap lets http.NewResponseController reach the underlying writer's
+// Flush/EnableFullDuplex (the NDJSON stream endpoint needs both).
+func (s *statusRecorder) Unwrap() http.ResponseWriter { return s.ResponseWriter }

@@ -90,6 +90,34 @@ func TestMetricsPrometheusExposition(t *testing.T) {
 		}
 	}
 
+	// Flight-recorder and Go-runtime families are present from the first
+	// scrape (the trace counters have seen the requests above; the runtime
+	// gauges are read live). Values are asserted only where deterministic.
+	for _, want := range []string{
+		"# TYPE caai_trace_finished_total counter",
+		"# TYPE caai_trace_retained_total counter",
+		"# TYPE caai_trace_dropped_total counter",
+		"caai_trace_lost_total 0",
+		"# TYPE caai_trace_spans_total counter",
+		"# TYPE caai_trace_stored gauge",
+		"# TYPE caai_runtime_goroutines gauge",
+		"# TYPE caai_runtime_heap_bytes gauge",
+		"# TYPE caai_runtime_gc_cycles_total counter",
+		"# TYPE caai_runtime_gc_pause_p99_seconds gauge",
+		"# TYPE caai_runtime_sched_latency_p99_seconds gauge",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("prometheus exposition missing %q", want)
+		}
+	}
+	// The three identify requests all finished; sampling may keep or drop
+	// them, but the accounting must have seen them (the 3 identify posts
+	// plus this /metrics scrape race's own in-flight request).
+	if !strings.Contains(prom, "caai_trace_finished_total 3") {
+		t.Errorf("trace finished counter missing the three identify requests:\n%s",
+			grepLines(prom, "caai_trace_finished_total"))
+	}
+
 	// Accept negotiation selects Prometheus too; plain GET stays JSON.
 	if ct, _ := fetchMetrics(t, ts.URL, "", "text/plain; version=0.0.4"); ct != telemetry.PromContentType {
 		t.Errorf("Accept: text/plain negotiated content type %q", ct)
@@ -97,6 +125,18 @@ func TestMetricsPrometheusExposition(t *testing.T) {
 	if ct, body := fetchMetrics(t, ts.URL, "", ""); !strings.Contains(ct, "application/json") || !strings.HasPrefix(strings.TrimSpace(body), "{") {
 		t.Errorf("default GET /metrics = %q (%q...), want the JSON snapshot", ct, body[:min(len(body), 40)])
 	}
+}
+
+// grepLines returns the exposition lines containing substr, for focused
+// failure messages.
+func grepLines(body, substr string) string {
+	var out []string
+	for _, line := range strings.Split(body, "\n") {
+		if strings.Contains(line, substr) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
 }
 
 // TestMetricsOutcomeAccounting checks the satellite contract that every

@@ -52,7 +52,7 @@ func (s *Service) handlePcap(w http.ResponseWriter, r *http.Request) {
 	}
 
 	pairs := flow.Pair(flows)
-	j, err := s.enqueue(&job{
+	j, err := s.enqueue(r.Context(), &job{
 		model:      modelName,
 		pcap:       pairs,
 		total:      len(pairs),

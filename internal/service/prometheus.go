@@ -86,6 +86,21 @@ func (s *Service) writePrometheus(w io.Writer) error {
 	pw.Counter("caai_stream_flows_total", "Flows emitted by stream pipelines (expired+evicted+drained).", snap.Stream.Flows)
 	pw.Gauge("caai_stream_ring_high_water_bytes", "Fullest any stream ingest ring has been.", float64(snap.Stream.RingHighWater))
 
+	pw.Counter("caai_trace_spans_total", "Spans written into the flight-recorder rings.", snap.Traces.Spans)
+	pw.Counter("caai_trace_finished_total", "Traces offered to tail sampling at completion.", snap.Traces.Finished)
+	pw.Counter("caai_trace_retained_total", "Traces kept by tail sampling (outcome / slow / sampled).", snap.Traces.Retained)
+	pw.Counter("caai_trace_dropped_total", "Normal traces discarded by tail sampling.", snap.Traces.Dropped)
+	pw.Counter("caai_trace_lost_total", "Trace completions lost to a full collector queue.", snap.Traces.Lost)
+	pw.Gauge("caai_trace_stored", "Traces currently held in the bounded retained store.", float64(snap.Traces.Stored))
+
+	pw.Gauge("caai_runtime_goroutines", "Live goroutines.", float64(snap.Runtime.Goroutines))
+	pw.Gauge("caai_runtime_heap_bytes", "Bytes of live heap objects.", float64(snap.Runtime.HeapBytes))
+	pw.Counter("caai_runtime_gc_cycles_total", "Completed GC cycles.", snap.Runtime.GCCycles)
+	pw.Gauge("caai_runtime_gc_pause_p50_seconds", "Median stop-the-world GC pause.", snap.Runtime.GCPauseP50Us/1e6)
+	pw.Gauge("caai_runtime_gc_pause_p99_seconds", "p99 stop-the-world GC pause.", snap.Runtime.GCPauseP99Us/1e6)
+	pw.Gauge("caai_runtime_sched_latency_p50_seconds", "Median goroutine scheduling latency.", snap.Runtime.SchedLatencyP50Us/1e6)
+	pw.Gauge("caai_runtime_sched_latency_p99_seconds", "p99 goroutine scheduling latency.", snap.Runtime.SchedLatencyP99Us/1e6)
+
 	pw.CounterVec("caai_outcomes_total",
 		"Identifications by outcome class (labeled/unsure/special/invalid, mirrors internal/eval).",
 		"outcome", map[string]int64{

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/flow"
 	"repro/internal/telemetry"
 )
@@ -41,6 +42,12 @@ type job struct {
 	// enqueuedAt stamps queue admission; the worker observes the
 	// dequeue-to-start delta as the job-level queue_wait span.
 	enqueuedAt time.Time
+	// reqID/trace carry the accepting request's correlation identity:
+	// the job's spans are recorded under trace, the job payload echoes
+	// reqID, and job completion re-finishes the trace so the retained
+	// span tree covers the async work, not just the 202 acceptance.
+	reqID string
+	trace telemetry.TraceID
 	// gatherSpan is a pcap job's decode+reassembly wall clock, charged to
 	// its pairs as StageGather when classification records spans.
 	gatherSpan time.Duration
@@ -52,6 +59,7 @@ type job struct {
 	state     string
 	completed int
 	cacheHits int
+	unsure    int // UNSURE/invalid results, for the trace's outcome class
 	errMsg    string
 	results   []IdentifyResponse
 }
@@ -64,6 +72,9 @@ func (j *job) complete(i int, resp IdentifyResponse, fromCache bool) {
 	j.completed++
 	if fromCache {
 		j.cacheHits++
+	}
+	if !resp.Valid || resp.Label == core.LabelUnsure {
+		j.unsure++
 	}
 }
 
@@ -120,10 +131,15 @@ func (j *job) status() JobStatus {
 	st := JobStatus{
 		ID:        j.id,
 		State:     j.state,
+		RequestID: j.reqID,
+		TraceID:   j.trace.String(),
 		Total:     j.total,
 		Completed: j.completed,
 		CacheHits: j.cacheHits,
 		Error:     j.errMsg,
+	}
+	if j.trace == 0 {
+		st.TraceID = ""
 	}
 	if j.state == StateDone {
 		st.Results = append([]IdentifyResponse(nil), j.results...)
@@ -137,13 +153,14 @@ func (j *job) status() JobStatus {
 }
 
 // submit validates req, enqueues it, and returns the accepted job. A full
-// queue returns errQueueFull so the handler can answer 503.
-func (s *Service) submit(req BatchRequest) (*job, error) {
+// queue returns errQueueFull so the handler can answer 503. ctx carries
+// the accepting request's trace identity into the job.
+func (s *Service) submit(ctx context.Context, req BatchRequest) (*job, error) {
 	if err := s.validateBatch(req); err != nil {
 		s.metrics.batchRejected.Add(1)
 		return nil, err
 	}
-	return s.enqueue(&job{
+	return s.enqueue(ctx, &job{
 		model: req.Model,
 		specs: req.Jobs,
 		total: len(req.Jobs),
@@ -152,8 +169,12 @@ func (s *Service) submit(req BatchRequest) (*job, error) {
 
 // enqueue registers a freshly built job (specs or pcap payload set) and
 // pushes it into the bounded queue. It finishes initializing the job:
-// context, state, ID, and the result slots.
-func (s *Service) enqueue(j *job) (*job, error) {
+// context, state, ID, the result slots, and the correlation identity
+// from the accepting request's ctx (the job's own lifetime context stays
+// rooted in the service, not the soon-to-close HTTP request).
+func (s *Service) enqueue(ctx context.Context, j *job) (*job, error) {
+	j.reqID = requestIDFrom(ctx)
+	j.trace = traceIDFrom(ctx)
 	j.ctx, j.cancel = context.WithCancel(s.ctx)
 	j.state = StateQueued
 	if j.census == nil {
@@ -216,11 +237,52 @@ func (s *Service) lookupJob(id string) (*job, bool) {
 	return j, ok
 }
 
+// finishJobTrace re-finishes the job's trace at job completion, so the
+// tail sampler re-evaluates the whole async lifetime: a batch whose
+// results came back UNSURE (or that failed) is retained even though its
+// 202 acceptance looked perfectly normal. The retained store replaces by
+// ID, so this fuller scan wins over the acceptance-time one.
+func (s *Service) finishJobTrace(j *job) {
+	if j.trace == 0 {
+		return
+	}
+	j.mu.Lock()
+	state, unsure := j.state, j.unsure
+	j.mu.Unlock()
+	outcome := telemetry.OutcomeOK
+	switch {
+	case state == StateFailed || state == StateCancelled:
+		outcome = telemetry.OutcomeError
+	case unsure > 0:
+		outcome = telemetry.OutcomeUnsure
+	}
+	route := "job:batch"
+	switch {
+	case j.census != nil:
+		route = "job:census"
+	case j.pcap != nil:
+		route = "job:pcap"
+	}
+	start := j.enqueuedAt
+	if start.IsZero() {
+		start = time.Now()
+	}
+	s.flight.Finish(telemetry.TraceDone{
+		ID:        j.trace,
+		RequestID: j.reqID,
+		Route:     route,
+		Outcome:   outcome,
+		Start:     start,
+		Duration:  time.Since(start),
+	})
+}
+
 // retire records that j reached a terminal state and enforces the
 // finished-job retention cap: the oldest finished jobs are dropped from
 // the store (their IDs then answer 404) so a resident server's memory
 // stays bounded under steady batch traffic.
 func (s *Service) retire(j *job) {
+	s.finishJobTrace(j)
 	// Release the job's context registration on the service root context;
 	// without this every completed job would leak a cancelCtx node for
 	// the life of the process.
@@ -251,7 +313,9 @@ func (s *Service) worker() {
 				s.retire(j)
 				continue
 			}
-			s.metrics.pipeline.Observe(telemetry.StageQueueWait, time.Since(j.enqueuedAt))
+			wait := time.Since(j.enqueuedAt)
+			s.metrics.pipeline.Observe(telemetry.StageQueueWait, wait)
+			s.flight.Span(j.trace, telemetry.StageQueueWait, j.enqueuedAt, wait, 0)
 			s.metrics.workersBusy.Add(1)
 			switch {
 			case j.census != nil:

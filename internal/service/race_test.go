@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -46,7 +47,7 @@ func TestConcurrentSubmitCancelReloadRace(t *testing.T) {
 					{Server: ServerSpec{Algorithm: "RENO"}, Seed: int64(g*1000 + r + 1)},
 					{Server: ServerSpec{Algorithm: "CUBIC2"}, Seed: int64(g*1000 + r + 1)},
 				}}
-				j, err := s.submit(req)
+				j, err := s.submit(context.Background(), req)
 				if err != nil {
 					continue // full queue under pressure is expected
 				}

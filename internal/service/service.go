@@ -12,9 +12,11 @@ package service
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -57,6 +59,22 @@ type Config struct {
 	MaxStreams int
 	// Probe customizes trace gathering (zero = paper defaults).
 	Probe probe.Config
+	// TraceSampleN keeps a deterministic 1-in-N of normal-outcome traces
+	// in the flight recorder's retained store (errors/UNSURE/slow are
+	// always kept): 0 means telemetry.DefaultTraceSampleN, 1 keeps all,
+	// negative keeps none of the normal traffic.
+	TraceSampleN int
+	// TraceSlow is the latency past which every trace is retained
+	// regardless of outcome; 0 means telemetry.DefaultTraceSlow.
+	TraceSlow time.Duration
+	// TraceRetain bounds the retained-trace store (FIFO); 0 means
+	// telemetry.DefaultTraceRetain.
+	TraceRetain int
+	// AccessLog, when non-nil, makes the trace middleware emit one
+	// structured log line per request (id, method, route, status,
+	// duration, bytes) -- the -log-requests behaviour, now inside the
+	// service so the logged ID is the trace key.
+	AccessLog *slog.Logger
 }
 
 // Service defaults.
@@ -66,6 +84,11 @@ const (
 	DefaultMaxBatchJobs = 10_000
 	DefaultJobRetention = 256
 	DefaultMaxStreams   = 4
+
+	// Trace defaults re-exported so flag registration (cmd/caai-serve)
+	// need not import internal/telemetry.
+	DefaultTraceSampleN = telemetry.DefaultTraceSampleN
+	DefaultTraceSlow    = telemetry.DefaultTraceSlow
 )
 
 func (c Config) withDefaults() Config {
@@ -97,6 +120,10 @@ type Service struct {
 	registry *Registry
 	cache    *resultCache
 	metrics  *metrics
+	// flight is the always-on trace recorder: every request's spans land
+	// in its rings, tail sampling at completion decides which traces the
+	// /v1/traces surface can still read back.
+	flight *telemetry.Flight
 
 	queue chan *job
 	// syncSem bounds concurrent synchronous-path probes at
@@ -110,11 +137,11 @@ type Service struct {
 	// cfg.MaxStreams; acquisition is non-blocking (shed, don't park).
 	streamSem chan struct{}
 
-	// flight coalesces concurrent identical sync identifications: the
+	// inflight coalesces concurrent identical sync identifications: the
 	// first request probes, later ones wait for its result instead of
 	// repeating the same deterministic work.
-	flightMu sync.Mutex
-	flight   map[string]*inflightCall
+	inflightMu sync.Mutex
+	inflight   map[string]*inflightCall
 
 	jobMu    sync.Mutex
 	jobs     map[string]*job
@@ -150,14 +177,19 @@ func New(reg *Registry, cfg Config) *Service {
 		syncWidth = engine.DefaultParallelism()
 	}
 	s := &Service{
-		cfg:       cfg,
-		registry:  reg,
-		cache:     newResultCache(cfg.CacheSize),
-		metrics:   newMetrics(),
+		cfg:      cfg,
+		registry: reg,
+		cache:    newResultCache(cfg.CacheSize),
+		metrics:  newMetrics(),
+		flight: telemetry.NewFlight(telemetry.FlightConfig{
+			SampleN: cfg.TraceSampleN,
+			Slow:    cfg.TraceSlow,
+			Retain:  cfg.TraceRetain,
+		}),
 		queue:     make(chan *job, cfg.QueueSize),
 		syncSem:   make(chan struct{}, syncWidth),
 		streamSem: make(chan struct{}, cfg.MaxStreams),
-		flight:    map[string]*inflightCall{},
+		inflight:  map[string]*inflightCall{},
 		jobs:      map[string]*job{},
 		ctx:       ctx,
 		cancel:    cancel,
@@ -203,7 +235,12 @@ func (s *Service) Close() {
 	s.closeMu.Unlock()
 	s.cancel()
 	s.wg.Wait()
+	s.flight.Close()
 }
+
+// Traces exposes the flight recorder (read-only surface for tooling and
+// tests; the HTTP handlers go through it too).
+func (s *Service) Traces() *telemetry.Flight { return s.flight }
 
 // identify answers one job spec against the named model, consulting the
 // result cache first. It is the shared core of the synchronous endpoint
@@ -232,9 +269,11 @@ func (s *Service) identify(ctx context.Context, modelName string, spec JobSpec) 
 	// lookup's cost, queue_wait the time from then until a probe slot is
 	// held (singleflight waits included -- that IS the queueing a coalesced
 	// request experiences).
+	tr := traceIDFrom(ctx)
 	var clock telemetry.SpanClock
 	var tm telemetry.StageTimings
-	clock.Start()
+	cacheStart := time.Now()
+	clock.StartAt(cacheStart)
 	firstLookup := true
 
 	// Singleflight: identification is deterministic per key, so concurrent
@@ -249,16 +288,18 @@ func (s *Service) identify(ctx context.Context, modelName string, spec JobSpec) 
 		if firstLookup {
 			clock.Lap(&tm, telemetry.StageCache)
 			s.metrics.pipeline.Observe(telemetry.StageCache, tm[telemetry.StageCache])
+			s.flight.Span(tr, telemetry.StageCache, cacheStart, tm[telemetry.StageCache], 0)
 			firstLookup = false
 		}
 		if ok {
 			s.metrics.cacheHits.Add(1)
+			s.flight.Event(tr, telemetry.EventCacheHit, 0)
 			resp.Cached = true
 			return resp, nil
 		}
-		s.flightMu.Lock()
-		if lead, inFlight := s.flight[key]; inFlight {
-			s.flightMu.Unlock()
+		s.inflightMu.Lock()
+		if lead, inFlight := s.inflight[key]; inFlight {
+			s.inflightMu.Unlock()
 			select {
 			case <-lead.done:
 			case <-ctx.Done():
@@ -268,19 +309,20 @@ func (s *Service) identify(ctx context.Context, modelName string, spec JobSpec) 
 				continue // leader aborted without probing; try again
 			}
 			s.metrics.cacheHits.Add(1)
+			s.flight.Event(tr, telemetry.EventCacheHit, 0)
 			resp := lead.resp
 			resp.Cached = true
 			return resp, nil
 		}
 		c = &inflightCall{done: make(chan struct{})}
-		s.flight[key] = c
-		s.flightMu.Unlock()
+		s.inflight[key] = c
+		s.inflightMu.Unlock()
 		break
 	}
 	defer func() {
-		s.flightMu.Lock()
-		delete(s.flight, key)
-		s.flightMu.Unlock()
+		s.inflightMu.Lock()
+		delete(s.inflight, key)
+		s.inflightMu.Unlock()
 		close(c.done)
 	}()
 
@@ -302,15 +344,20 @@ func (s *Service) identify(ctx context.Context, modelName string, spec JobSpec) 
 	defer func() { <-s.syncSem }()
 	clock.Lap(&tm, telemetry.StageQueueWait)
 	s.metrics.pipeline.Observe(telemetry.StageQueueWait, tm[telemetry.StageQueueWait])
+	wait := tm[telemetry.StageQueueWait]
+	s.flight.Span(tr, telemetry.StageQueueWait, time.Now().Add(-wait), wait, 0)
 	s.metrics.cacheMisses.Add(1)
+	s.flight.Event(tr, telemetry.EventCacheMiss, 0)
 	s.metrics.inFlight.Add(1)
 	defer s.metrics.inFlight.Add(-1)
 	rng := xrand.New(spec.Seed)
 	// Sessions recycle probe and feature scratch across requests; the pool
 	// guarantees exclusive use for the duration of the probe. Span
-	// recording stays on for the session's lifetime (idempotent re-enable).
+	// recording stays on for the session's lifetime (idempotent re-enable);
+	// the trace binding is rebound every request (pooled sessions).
 	sess := model.acquireSession()
 	sess.EnableTimings(&s.metrics.pipeline)
+	sess.BindTrace(s.flight, tr)
 	id := sess.Identify(server, cond, s.cfg.Probe, rng)
 	model.releaseSession(sess)
 	// Fold the service-side spans into the result's breakdown so the wire
@@ -349,15 +396,22 @@ func (c countingIdentifier) Identify(server *websim.Server, cond netem.Condition
 }
 
 // countingBlock is countingIdentifier for the block-inference path: the
-// gauge brackets each probe (the long-running unit), not the flush.
+// gauge brackets each probe (the long-running unit), not the flush. It
+// also stamps the job's trace with a shard-assignment event per gathered
+// probe (arg packs worker<<32 | job tag), so a span tree shows which
+// engine worker ran which sample.
 type countingBlock struct {
-	bs engine.BlockIdentifier[core.Identification]
-	m  *metrics
+	bs     engine.BlockIdentifier[core.Identification]
+	m      *metrics
+	flight *telemetry.Flight
+	trace  telemetry.TraceID
+	worker int
 }
 
 func (c countingBlock) Gather(tag int, server *websim.Server, cond netem.Condition, cfg probe.Config, rng *rand.Rand) {
 	c.m.inFlight.Add(1)
 	defer c.m.inFlight.Add(-1)
+	c.flight.Event(c.trace, telemetry.EventShardAssign, uint64(c.worker)<<32|uint64(tag)&0xffffffff)
 	c.bs.Gather(tag, server, cond, cfg, rng)
 }
 
@@ -448,6 +502,7 @@ func (s *Service) runBatch(j *job) {
 		// a single interactive request should never wait for a block to
 		// fill (and with one vector there is nothing to batch).
 		id := countingIdentifier{id: model.Identifier(), m: s.metrics}
+		workerSeq := 0 // NewWorkerBlock is called sequentially by the engine
 		engine.IdentifyBatch[core.Identification](id, engineJobs, engine.BatchConfig[core.Identification]{
 			Ctx:         j.ctx,
 			Parallelism: s.cfg.Parallelism,
@@ -455,7 +510,10 @@ func (s *Service) runBatch(j *job) {
 			NewWorkerBlock: func() engine.BlockIdentifier[core.Identification] {
 				bs := model.Identifier().NewBlockSession()
 				bs.EnableTimings(&s.metrics.pipeline)
-				return countingBlock{bs: bs, m: s.metrics}
+				bs.BindTrace(s.flight, j.trace)
+				w := workerSeq
+				workerSeq++
+				return countingBlock{bs: bs, m: s.metrics, flight: s.flight, trace: j.trace, worker: w}
 			},
 			OnResult: func(r engine.Result[core.Identification]) {
 				g := groups[r.Index]

@@ -297,8 +297,14 @@ type BatchAccepted struct {
 
 // JobStatus is the GET /v1/jobs/{id} response.
 type JobStatus struct {
-	ID        string             `json:"id"`
-	State     string             `json:"state"`
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// RequestID/TraceID echo the accepting request's correlation
+	// identity: RequestID is the X-Request-ID that 202 carried, TraceID
+	// the flight-recorder key for GET /v1/traces/{id}. Absent when the
+	// job was submitted outside the HTTP surface.
+	RequestID string             `json:"request_id,omitempty"`
+	TraceID   string             `json:"trace_id,omitempty"`
 	Total     int                `json:"total"`
 	Completed int                `json:"completed"`
 	CacheHits int                `json:"cache_hits"`

@@ -7,6 +7,7 @@ import (
 	"net/http"
 
 	"repro/internal/flow"
+	"repro/internal/telemetry"
 )
 
 // StreamEvent is one NDJSON line of the POST /v1/pcap/stream response.
@@ -15,9 +16,13 @@ import (
 // with the merged pipeline statistics (and Error when the stream died
 // mid-way: the status code was committed long before).
 type StreamEvent struct {
-	Flow    *IdentifyResponse  `json:"flow,omitempty"`
-	Capture *flow.CaptureStats `json:"capture,omitempty"`
-	Error   string             `json:"error,omitempty"`
+	// RequestID echoes the stream request's X-Request-ID on every line,
+	// so interleaved NDJSON from several captures stays correlatable
+	// after the fact (log shippers drop header context).
+	RequestID string             `json:"request_id,omitempty"`
+	Flow      *IdentifyResponse  `json:"flow,omitempty"`
+	Capture   *flow.CaptureStats `json:"capture,omitempty"`
+	Error     string             `json:"error,omitempty"`
 }
 
 // handlePcapStream accepts an unbounded pcap/pcapng byte stream (a live
@@ -59,17 +64,22 @@ func (s *Service) handlePcapStream(w http.ResponseWriter, r *http.Request) {
 	_ = rc.Flush()
 
 	version := model.Version()
+	reqID := requestIDFrom(r.Context())
 	enc := json.NewEncoder(w)
 	// The sink runs serially on the pipeline's emitter goroutine (and,
 	// for the end-of-stream pairing flush, on this goroutine after the
 	// emitter exits), so encoding to w needs no lock.
 	st := flow.NewIdentifyStream(r.Context(), model.Identifier().Classifier(),
-		flow.IdentifyStreamOptions{Stream: flow.StreamConfig{Metrics: s.metrics.streamMetrics()}},
+		flow.IdentifyStreamOptions{Stream: flow.StreamConfig{
+			Metrics: s.metrics.streamMetrics(),
+			Trace:   s.flight,
+			TraceID: traceIDFrom(r.Context()),
+		}},
 		func(fi flow.FlowIdentification) {
 			resp := toFlowResponse(version, fi)
 			s.metrics.identifies.Add(1)
 			s.metrics.countLabel(resp)
-			_ = enc.Encode(StreamEvent{Flow: &resp})
+			_ = enc.Encode(StreamEvent{RequestID: reqID, Flow: &resp})
 			_ = rc.Flush()
 		})
 
@@ -80,15 +90,17 @@ func (s *Service) handlePcapStream(w http.ResponseWriter, r *http.Request) {
 		// without draining: the client is not reading flows anymore.
 		st.Abort(cerr)
 		s.metrics.streamErrors.Add(1)
+		setOutcome(r.Context(), telemetry.OutcomeError)
 		stats := st.Stats()
-		_ = enc.Encode(StreamEvent{Capture: &stats, Error: cerr.Error()})
+		_ = enc.Encode(StreamEvent{RequestID: reqID, Capture: &stats, Error: cerr.Error()})
 		return
 	}
 	err = st.Close()
 	stats := st.Stats()
-	final := StreamEvent{Capture: &stats}
+	final := StreamEvent{RequestID: reqID, Capture: &stats}
 	if err != nil {
 		s.metrics.streamErrors.Add(1)
+		setOutcome(r.Context(), telemetry.OutcomeError)
 		final.Error = err.Error()
 	}
 	_ = enc.Encode(final)

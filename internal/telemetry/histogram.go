@@ -102,9 +102,12 @@ func (s HistogramSnapshot) Mean() time.Duration {
 	return s.Sum / time.Duration(s.Count)
 }
 
-// Quantile estimates the q-quantile (q in [0,1]) as the upper bound of the
-// bucket holding the q*Count-th observation -- a factor-of-two upper
-// estimate, which is what log-spaced buckets buy. Returns 0 when empty.
+// Quantile estimates the q-quantile (q in [0,1]) by locating the bucket
+// holding the q*Count-th observation and interpolating linearly within
+// it (observations are assumed uniform inside a bucket). Log-spaced
+// buckets bound the error at the bucket's factor-of-two width; the
+// interpolation removes the systematic "always answer the upper edge"
+// bias of a pure bucket lookup. Returns 0 when empty.
 func (s HistogramSnapshot) Quantile(q float64) time.Duration {
 	if s.Count == 0 {
 		return 0
@@ -115,16 +118,34 @@ func (s HistogramSnapshot) Quantile(q float64) time.Duration {
 	if q > 1 {
 		q = 1
 	}
-	rank := int64(q * float64(s.Count))
-	if rank >= s.Count {
-		rank = s.Count - 1
+	rank := q * float64(s.Count)
+	if rank > float64(s.Count) {
+		rank = float64(s.Count)
 	}
 	var seen int64
 	for i, b := range s.Buckets {
-		seen += b
-		if seen > rank {
-			return BucketBound(i)
+		if b == 0 {
+			seen += b
+			continue
 		}
+		if float64(seen+b) >= rank {
+			// Bucket i spans (lo, hi]; place the rank-th observation
+			// proportionally among the bucket's b observations.
+			var lo time.Duration
+			if i > 0 {
+				lo = BucketBound(i - 1)
+			}
+			hi := BucketBound(i)
+			frac := (rank - float64(seen)) / float64(b)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lo + time.Duration(frac*float64(hi-lo))
+		}
+		seen += b
 	}
 	return BucketBound(NumHistBuckets - 1)
 }

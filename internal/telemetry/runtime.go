@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"math"
+	"runtime/metrics"
+	"time"
+)
+
+// RuntimeStats is a point-in-time read of the Go runtime's own health
+// signals, surfaced next to the service counters so a latency spike can
+// be attributed to GC pressure or scheduler backlog without a second
+// tool. Quantiles come from the runtime's cumulative float64 histograms
+// (process lifetime, not windowed).
+type RuntimeStats struct {
+	Goroutines        int64   `json:"goroutines"`
+	HeapBytes         int64   `json:"heap_bytes"`
+	GCCycles          int64   `json:"gc_cycles"`
+	GCPauseP50Us      float64 `json:"gc_pause_p50_us"`
+	GCPauseP99Us      float64 `json:"gc_pause_p99_us"`
+	SchedLatencyP50Us float64 `json:"sched_latency_p50_us"`
+	SchedLatencyP99Us float64 `json:"sched_latency_p99_us"`
+}
+
+// runtimeSamples are the runtime/metrics names ReadRuntimeStats reads;
+// fixed set, sampled on demand (snapshot/scrape time) so there is no
+// background sampler goroutine to manage.
+var runtimeSamples = []string{
+	"/sched/goroutines:goroutines",
+	"/memory/classes/heap/objects:bytes",
+	"/gc/cycles/total:gc-cycles",
+	"/gc/pauses:seconds",
+	"/sched/latencies:seconds",
+}
+
+// ReadRuntimeStats samples the runtime metrics now.
+func ReadRuntimeStats() RuntimeStats {
+	samples := make([]metrics.Sample, len(runtimeSamples))
+	for i, name := range runtimeSamples {
+		samples[i].Name = name
+	}
+	metrics.Read(samples)
+	var rs RuntimeStats
+	for _, s := range samples {
+		switch s.Name {
+		case "/sched/goroutines:goroutines":
+			if s.Value.Kind() == metrics.KindUint64 {
+				rs.Goroutines = int64(s.Value.Uint64())
+			}
+		case "/memory/classes/heap/objects:bytes":
+			if s.Value.Kind() == metrics.KindUint64 {
+				rs.HeapBytes = int64(s.Value.Uint64())
+			}
+		case "/gc/cycles/total:gc-cycles":
+			if s.Value.Kind() == metrics.KindUint64 {
+				rs.GCCycles = int64(s.Value.Uint64())
+			}
+		case "/gc/pauses:seconds":
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				h := s.Value.Float64Histogram()
+				rs.GCPauseP50Us = float64HistQuantile(h, 0.5) * usPerSec
+				rs.GCPauseP99Us = float64HistQuantile(h, 0.99) * usPerSec
+			}
+		case "/sched/latencies:seconds":
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				h := s.Value.Float64Histogram()
+				rs.SchedLatencyP50Us = float64HistQuantile(h, 0.5) * usPerSec
+				rs.SchedLatencyP99Us = float64HistQuantile(h, 0.99) * usPerSec
+			}
+		}
+	}
+	return rs
+}
+
+const usPerSec = float64(time.Second / time.Microsecond)
+
+// float64HistQuantile estimates a quantile of a runtime/metrics
+// Float64Histogram by cumulative bucket walk, answering the holding
+// bucket's finite upper bound (runtime buckets can be open-ended on
+// both sides; infinities fall back to the nearest finite edge).
+func float64HistQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	if h == nil || len(h.Counts) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for i, c := range h.Counts {
+		seen += c
+		if seen > rank {
+			// Bucket i spans (Buckets[i], Buckets[i+1]].
+			hi := h.Buckets[i+1]
+			if math.IsInf(hi, 1) { // open-ended top bucket
+				hi = h.Buckets[i]
+			}
+			if math.IsInf(hi, 0) || math.IsNaN(hi) {
+				return 0
+			}
+			return hi
+		}
+	}
+	return 0
+}

@@ -109,6 +109,11 @@ type SpanClock struct {
 // Start arms the clock at the beginning of a stage sequence.
 func (c *SpanClock) Start() { c.last = time.Now() }
 
+// StartAt arms the clock at a caller-chosen instant, for callers that
+// already read the clock (to anchor a trace) and must not pay a second
+// read.
+func (c *SpanClock) StartAt(t time.Time) { c.last = t }
+
 // Lap records the span since the previous Start/Lap under stage s and
 // re-arms for the next stage. On an unarmed clock it is a no-op.
 func (c *SpanClock) Lap(t *StageTimings, s Stage) {

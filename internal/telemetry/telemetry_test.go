@@ -168,21 +168,32 @@ func TestSnapshotMergeAssociative(t *testing.T) {
 	}
 }
 
-// TestQuantileBuckets: quantiles report the holding bucket's upper bound.
+// TestQuantileBuckets: quantiles interpolate linearly inside the bucket
+// holding the ranked observation, so estimates land strictly within the
+// bucket's (lower, upper] span instead of pinning to the upper edge.
 func TestQuantileBuckets(t *testing.T) {
 	var h Histogram
 	for i := 0; i < 90; i++ {
-		h.Observe(100 * time.Microsecond) // bucket bound 128µs
+		h.Observe(100 * time.Microsecond) // bucket 7: (64µs, 128µs]
 	}
 	for i := 0; i < 10; i++ {
-		h.Observe(10 * time.Millisecond) // bucket bound ~16.4ms
+		h.Observe(10 * time.Millisecond) // bucket 14: (~8.2ms, ~16.4ms]
 	}
 	s := h.Snapshot()
-	if got := s.Quantile(0.5); got != BucketBound(7) {
-		t.Fatalf("p50 = %v, want %v", got, BucketBound(7))
+	if got := s.Quantile(0.5); got <= BucketBound(6) || got > BucketBound(7) {
+		t.Fatalf("p50 = %v, want in (%v, %v]", got, BucketBound(6), BucketBound(7))
 	}
-	if got := s.Quantile(0.99); got != BucketBound(14) {
-		t.Fatalf("p99 = %v, want %v", got, BucketBound(14))
+	// Rank 50 of 100 lands 50/90ths into bucket 7's 90 observations:
+	// 64µs + (50/90)·64µs ≈ 99.6µs — near the true 100µs, where the old
+	// upper-bound answer was a flat 128µs.
+	if got := s.Quantile(0.5); got < 90*time.Microsecond || got > 110*time.Microsecond {
+		t.Fatalf("p50 = %v, want ≈100µs from in-bucket interpolation", got)
+	}
+	if got := s.Quantile(0.99); got <= BucketBound(13) || got > BucketBound(14) {
+		t.Fatalf("p99 = %v, want in (%v, %v]", got, BucketBound(13), BucketBound(14))
+	}
+	if got := s.Quantile(1); got != BucketBound(14) {
+		t.Fatalf("p100 = %v, want holding bucket's upper bound %v", got, BucketBound(14))
 	}
 	var empty HistogramSnapshot
 	if got := empty.Quantile(0.5); got != 0 {
